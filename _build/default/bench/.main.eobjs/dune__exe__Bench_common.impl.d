@@ -1,0 +1,1 @@
+bench/bench_common.ml: Biozon Hashtbl Printf String Topo_core Topo_sql Topo_util Unix

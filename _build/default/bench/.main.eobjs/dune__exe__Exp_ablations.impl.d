@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Bench_common Biozon Engine Hashtbl List Pretty Printf Ranking Store String Topo_core Topo_util

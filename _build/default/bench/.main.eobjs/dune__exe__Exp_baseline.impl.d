@@ -1,0 +1,1 @@
+bench/exp_baseline.ml: Array Bench_common Biozon Engine List Pretty Printf Query String Topo_core Topo_util

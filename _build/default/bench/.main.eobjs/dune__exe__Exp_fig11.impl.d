@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Array Bench_common Engine List Pretty Printf String Topo_core Topo_util

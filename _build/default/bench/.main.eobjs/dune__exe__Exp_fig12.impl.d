@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Bench_common Engine List Pretty Printf Topo_core Topo_util

@@ -1,0 +1,1 @@
+bench/exp_fig16.ml: Bench_common Engine List Printf Query Ranking Store Topo_core Topo_graph Topo_util

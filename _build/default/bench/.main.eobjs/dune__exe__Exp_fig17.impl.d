@@ -1,0 +1,1 @@
+bench/exp_fig17.ml: Bench_common Biozon Engine Exp_fig16 Hashtbl Int List Printf Store Topo_core Topo_graph Topo_util

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Biozon List Printf Topo_graph Topo_util Unix

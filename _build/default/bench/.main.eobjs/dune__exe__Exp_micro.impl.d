@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Biozon Exp_fig16 Hashtbl Instance Lazy List Measure Printf Staged Test Time Toolkit Topo_core Topo_graph Topo_sql Topo_util

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bench_common Engine Hashtbl List Pretty Printf Store Topo_core Topo_util

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Bench_common Engine Float List Pretty Printf Ranking Topo_core Topo_sql Topo_util

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_common Engine List Pretty Printf Ranking Store Topo_core Topo_util

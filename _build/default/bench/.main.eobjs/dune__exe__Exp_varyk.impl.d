@@ -1,0 +1,1 @@
+bench/exp_varyk.ml: Bench_common Engine List Pretty Ranking Topo_core Topo_util

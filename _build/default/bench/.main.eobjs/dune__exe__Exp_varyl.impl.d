@@ -1,0 +1,1 @@
+bench/exp_varyl.ml: Bench_common Biozon Engine Hashtbl List Pretty Printf Query Ranking Store Topo_core Topo_sql Topo_util

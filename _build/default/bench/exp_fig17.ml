@@ -1,0 +1,99 @@
+(* Figure 17 / Section 6.2.3 — weak relationships at l = 4.
+
+   Paper: paths like P-D-P-U-D connect mostly unrelated endpoints, have
+   huge instance counts (~600M on Biozon), dilute meaningful topologies
+   (splitting the Figure 16 motif into four noisy variants), and should be
+   pruned with domain knowledge.
+
+   Measured: instance counts of weak vs strong path classes at l = 4, the
+   number of topologies contaminated by weak classes, the dilution of the
+   Figure 16 motif, and the ablation the paper proposes — rebuilding with
+   weak paths excluded (cost + result-quality deltas). *)
+
+open Bench_common
+module Sg = Topo_graph.Schema_graph
+
+let run () =
+  Topo_util.Pretty.section "Figure 17 / weak relationships at l = 4";
+  let engine, build_s = engine_l4 () in
+  let ctx = engine.Engine.ctx in
+  (* Per-class instance counts for Protein-DNA at l = 4. *)
+  let schema = ctx.Topo_core.Context.schema in
+  let dg = ctx.Topo_core.Context.dg in
+  let paths = Sg.paths schema ~from_:"Protein" ~to_:"DNA" ~max_len:4 in
+  let counted =
+    List.map
+      (fun p ->
+        let n = ref 0 in
+        Topo_graph.Data_graph.iter_instance_paths dg p ~f:(fun _ -> incr n);
+        (p, !n, Topo_core.Weak.is_weak_path p))
+      paths
+  in
+  let weak_total = List.fold_left (fun acc (_, n, w) -> if w then acc + n else acc) 0 counted in
+  let strong_total = List.fold_left (fun acc (_, n, w) -> if w then acc else acc + n) 0 counted in
+  Printf.printf "P-D schema paths at l<=4: %d (%d weak)\n" (List.length counted)
+    (List.length (List.filter (fun (_, _, w) -> w) counted));
+  Printf.printf "instance paths: weak classes %d vs strong classes %d (paper: weak classes dominate,\n"
+    weak_total strong_total;
+  Printf.printf "e.g. P-D-P-U-D alone had ~600M instances)\n\n";
+  let top_weak =
+    List.filter (fun (_, _, w) -> w) counted
+    |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  print_endline "largest weak classes:";
+  List.iter (fun (p, n, _) -> Printf.printf "  %8d  %s\n" n (Sg.path_to_string p)) top_weak;
+  (* Topology contamination. *)
+  let store = Engine.store engine ~t1:"Protein" ~t2:"DNA" in
+  let total = ref 0 and contaminated = ref 0 in
+  Hashtbl.iter
+    (fun tid _ ->
+      incr total;
+      if Topo_core.Weak.contains_weak_class (Engine.topology engine tid) then incr contaminated)
+    store.Store.frequencies;
+  Printf.printf "\nP-D 4-topologies observed: %d, containing a weak class: %d (%.0f%%)\n" !total
+    !contaminated
+    (100.0 *. float_of_int !contaminated /. float_of_int (max 1 !total));
+  (* Dilution of the Figure 16 motif: pairs related by the motif at l = 3
+     whose l = 4 topology adds weak classes. *)
+  let interner = ctx.Topo_core.Context.interner in
+  let motif_key = Topo_graph.Canon.key (Exp_fig16.motif_graph interner) in
+  (* Dilution: the motif's frequency on the same catalog at l = 3 vs l = 4
+     (paths of length 4 add classes to motif pairs, splitting them off into
+     larger topologies — Figure 17's four variants). *)
+  let l3_engine =
+    (* Fresh catalog with the same seed: identical data, private derived
+       tables. *)
+    Engine.build
+      (Biozon.Generator.generate (l4_params ()))
+      ~pairs:[ ("Protein", "DNA") ] ~l:3 ~pruning_threshold:(pruning_threshold ()) ()
+  in
+  let motif_freq engine' =
+    let interner' = engine'.Engine.ctx.Topo_core.Context.interner in
+    let key = Topo_graph.Canon.key (Exp_fig16.motif_graph interner') in
+    match Topo_core.Topology.find_by_key engine'.Engine.ctx.Topo_core.Context.registry key with
+    | Some t -> Store.frequency (Engine.store engine' ~t1:"Protein" ~t2:"DNA") t.Topo_core.Topology.tid
+    | None -> 0
+  in
+  (match Topo_core.Topology.find_by_key ctx.Topo_core.Context.registry motif_key with
+  | Some t ->
+      Printf.printf "\nFigure 16 motif frequency: l=3 %d -> l=4 %d on the same catalog\n"
+        (motif_freq l3_engine)
+        (Store.frequency store t.Topo_core.Topology.tid);
+      Printf.printf "(length-4 paths split motif pairs into larger diluted topologies, as in Figure 17)\n"
+  | None ->
+      Printf.printf "\nFigure 16 motif frequency: l=3 %d -> l=4 0 (fully diluted, the Figure 17 effect)\n"
+        (motif_freq l3_engine));
+  (* Ablation: the paper's remedy. *)
+  print_endline "\nablation: rebuild with weak schema paths pruned (the Section 6.2.3 remedy):";
+  let engine2, build2_s = engine_l4_noweak () in
+  let store2 = Engine.store engine2 ~t1:"Protein" ~t2:"DNA" in
+  let count_topos store = Hashtbl.length store.Store.frequencies in
+  Printf.printf "  build time: %.1fs -> %.1fs\n" build_s build2_s;
+  Printf.printf "  P-D topologies: %d -> %d\n" (count_topos store) (count_topos store2);
+  let motif_back =
+    match Topo_core.Topology.find_by_key engine2.Engine.ctx.Topo_core.Context.registry motif_key with
+    | Some t -> Store.frequency store2 t.Topo_core.Topology.tid
+    | None -> 0
+  in
+  Printf.printf "  Figure 16 motif frequency after weak pruning: %d\n" motif_back

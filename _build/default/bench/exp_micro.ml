@@ -1,0 +1,114 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure family, timing
+   the kernel operation each experiment leans on, over a small fixed
+   database so numbers are stable. *)
+
+open Bechamel
+open Toolkit
+
+let small_engine =
+  lazy
+    (let params =
+       Biozon.Generator.scale 0.15
+         { Biozon.Generator.default with Biozon.Generator.seed = 7 }
+     in
+     let cat = Biozon.Generator.generate params in
+     Topo_core.Engine.build cat
+       ~pairs:[ ("Protein", "DNA"); ("Protein", "Interaction") ]
+       ~pruning_threshold:10 ())
+
+let tests () =
+  let engine = Lazy.force small_engine in
+  let ctx = engine.Topo_core.Engine.ctx in
+  let cat = ctx.Topo_core.Context.catalog in
+  let schema = Biozon.Bschema.schema_graph () in
+  let q_pd = Topo_core.Query.q1 cat in
+  let q_pi =
+    Topo_core.Query.make
+      (Topo_core.Query.keyword cat "Protein" ~col:"desc" ~kw:"enzyme")
+      (Topo_core.Query.keyword cat "Interaction" ~col:"desc" ~kw:"binding")
+  in
+  let t4_graph =
+    (* A five-node complex topology for the canonicalization kernel. *)
+    let interner = ctx.Topo_core.Context.interner in
+    Exp_fig16.motif_graph interner
+  in
+  let pud =
+    List.find
+      (fun p -> Topo_graph.Schema_graph.path_length p = 2)
+      (Topo_graph.Schema_graph.paths schema ~from_:"Protein" ~to_:"DNA" ~max_len:2)
+  in
+  [
+    (* fig8: schema-level gluing enumeration at l = 2. *)
+    Test.make ~name:"fig8_glue_l2"
+      (Staged.stage (fun () ->
+           let interner = Topo_util.Interner.create () in
+           Topo_graph.Glue.enumerate interner schema ~from_:"Protein" ~to_:"DNA" ~max_len:2
+             ~collect:false ()));
+    (* fig11/fig12: the canonicalization kernel of the AllTops sweep. *)
+    Test.make ~name:"fig11_canon_key" (Staged.stage (fun () -> Topo_graph.Canon.key t4_graph));
+    (* fig11: instance-path enumeration for one schema path. *)
+    Test.make ~name:"fig11_path_enum"
+      (Staged.stage (fun () ->
+           let n = ref 0 in
+           Topo_graph.Data_graph.iter_instance_paths ctx.Topo_core.Context.dg pud ~f:(fun _ -> incr n);
+           !n));
+    (* table1: pruned-store construction is dominated by pair_topologies. *)
+    Test.make ~name:"table1_pair_topologies"
+      (Staged.stage (fun () ->
+           Topo_core.Compute.pair_topologies ctx.Topo_core.Context.dg ctx.Topo_core.Context.schema
+             ctx.Topo_core.Context.registry ~t1:"Protein" ~t2:"DNA" ~a:Biozon.Paper_db.p78
+             ~b:Biozon.Paper_db.d215 ~l:3 ~caps:Topo_core.Compute.default_caps));
+    (* table2: the two competing online strategies. *)
+    Test.make ~name:"table2_full_top"
+      (Staged.stage (fun () -> Topo_core.Engine.run engine q_pd ~method_:Topo_core.Engine.Full_top ()));
+    Test.make ~name:"table2_fast_top_k"
+      (Staged.stage (fun () ->
+           Topo_core.Engine.run engine q_pi ~method_:Topo_core.Engine.Fast_top_k ~k:10 ()));
+    Test.make ~name:"table2_fast_top_k_et"
+      (Staged.stage (fun () ->
+           Topo_core.Engine.run engine q_pi ~method_:Topo_core.Engine.Fast_top_k_et ~k:10 ()));
+    (* table3/fig17: weak-path classification. *)
+    Test.make ~name:"fig17_weak_classification"
+      (Staged.stage (fun () ->
+           List.map Topo_core.Weak.is_weak_path
+             (Topo_graph.Schema_graph.paths schema ~from_:"Protein" ~to_:"DNA" ~max_len:4)));
+    (* varyk: the optimizer's cost model evaluation. *)
+    Test.make ~name:"varyk_cost_model"
+      (Staged.stage (fun () ->
+           let levels =
+             [|
+               { Topo_sql.Dgj_cost.n_inner = 1000; probe_cost = 1.0; pred_sel = 0.3; join_sel = 0.001 };
+               { Topo_sql.Dgj_cost.n_inner = 500; probe_cost = 1.0; pred_sel = 0.5; join_sel = 0.002 };
+             |]
+           in
+           Topo_sql.Dgj_cost.expected_cost
+             { Topo_sql.Dgj_cost.cards = Array.make 100 20; levels; k = 10; per_group_overhead = 1.0 }));
+    (* instances: witness reconstruction. *)
+    Test.make ~name:"instances_witness"
+      (Staged.stage (fun () ->
+           let store = Topo_core.Engine.store engine ~t1:"Protein" ~t2:"DNA" in
+           match Topo_core.Analysis.top_frequent store ~n:1 with
+           | (tid, _) :: _ -> (
+               match Topo_core.Instances.pairs_of_topology ctx store ~tid with
+               | (a, b) :: _ -> Topo_core.Instances.witness ctx ~tid ~a ~b
+               | [] -> None)
+           | [] -> None));
+  ]
+
+let run () =
+  Topo_util.Pretty.section "Bechamel micro-benchmarks (ns/run, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"micro" (tests ())) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%.0f" t
+        | Some [] | None -> "-"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  Topo_util.Pretty.print ~header:[ "kernel"; "ns/run" ] (List.sort compare !rows)

@@ -1,0 +1,29 @@
+(* Section 6.2.4 — varying k.
+
+   Paper: "the results are similar, except for a slight degradation in
+   performance with increasing k".
+
+   Measured: Fast-Top-k-Opt and Fast-Top-k-ET across k on the
+   medium/medium Protein-Interaction query. *)
+
+open Bench_common
+
+let ks = [ 1; 5; 10; 20; 50 ]
+
+let run () =
+  Topo_util.Pretty.section "Vary k (Section 6.2.4) — Fast-Top-k-Opt / Fast-Top-k-ET (ms)";
+  let engine, _ = engine_l3 () in
+  let cat = engine.Engine.ctx.Topo_core.Context.catalog in
+  let q = grid_query cat ~protein_sel:`Medium ~interaction_sel:`Medium in
+  let header = "method/scheme" :: List.map (fun k -> "k=" ^ string_of_int k) ks in
+  let rows =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun scheme ->
+            (Engine.method_name m ^ " " ^ Ranking.name scheme)
+            :: List.map (fun k -> ms (time_method engine q ~method_:m ~scheme ~k)) ks)
+          Ranking.all)
+      [ Engine.Fast_top_k_opt; Engine.Fast_top_k_et ]
+  in
+  Pretty.print ~header rows

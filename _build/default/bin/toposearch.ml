@@ -1,0 +1,299 @@
+(* toposearch — command-line interface to the topology search engine.
+
+   Subcommands:
+     demo        the paper's Figure 3 example end to end
+     query       run a 2-query over a synthetic Biozon instance
+     topologies  list a pair's topologies ranked by a scheme
+     schema      show the Biozon schema and schema paths between two types
+     enumerate   count all possible topologies between two types (Sec 3.1)
+     sql         evaluate a SQL query over the generated instance *)
+
+open Cmdliner
+module Engine = Topo_core.Engine
+module Query = Topo_core.Query
+module Ranking = Topo_core.Ranking
+module Nquery = Topo_core.Nquery
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let scale_arg =
+  Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"F" ~doc:"Scale of the synthetic Biozon instance.")
+
+let seed_arg = Arg.(value & opt int 20070415 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let l_arg = Arg.(value & opt int 3 & info [ "l"; "max-len" ] ~docv:"N" ~doc:"Maximum path length (the paper's l).")
+
+let threshold_arg =
+  Arg.(value & opt int 25 & info [ "pruning-threshold" ] ~docv:"N" ~doc:"Fast-Top pruning threshold.")
+
+let t1_arg = Arg.(value & opt string "Protein" & info [ "t1" ] ~docv:"ENTITY" ~doc:"First entity set.")
+
+let t2_arg = Arg.(value & opt string "DNA" & info [ "t2" ] ~docv:"ENTITY" ~doc:"Second entity set.")
+
+let make_instance scale seed =
+  Biozon.Generator.generate
+    (Biozon.Generator.scale scale { Biozon.Generator.default with Biozon.Generator.seed = seed })
+
+let build_engine catalog ~t1 ~t2 ~l ~threshold =
+  Engine.build catalog ~pairs:[ (t1, t2) ] ~l ~pruning_threshold:threshold ()
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                 *)
+
+let demo () =
+  let catalog = Biozon.Paper_db.catalog () in
+  let engine = Engine.build catalog ~pairs:[ ("Protein", "DNA") ] ~pruning_threshold:50 () in
+  let q = Query.q1 catalog in
+  Printf.printf "database: Figure 3 of the paper (4 proteins, 3 DNAs, 4 Unigene clusters)\n";
+  Printf.printf "query: %s\n\n" (Query.to_string q);
+  let r = Engine.run engine q ~method_:Engine.Full_top () in
+  List.iter
+    (fun (tid, _) -> Printf.printf "TID %d: %s\n" tid (Engine.describe engine tid))
+    r.Engine.ranked;
+  Printf.printf "\n(these are the paper's four results T1-T4: the encodes path, the P-U-D path,\n";
+  Printf.printf "and the two complex topologies of the pair (78, 215))\n";
+  0
+
+let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Run the paper's worked example.") Term.(const demo $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* query                                                                *)
+
+let method_conv =
+  let parse s =
+    match
+      List.find_opt (fun m -> String.lowercase_ascii (Engine.method_name m) = String.lowercase_ascii s) Engine.all_methods
+    with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown method %s (try %s)" s
+                       (String.concat ", " (List.map Engine.method_name Engine.all_methods))))
+  in
+  let print fmt m = Format.pp_print_string fmt (Engine.method_name m) in
+  Arg.conv (parse, print)
+
+let scheme_conv =
+  let parse s = match Ranking.of_name s with r -> Ok r | exception Invalid_argument _ -> Error (`Msg ("unknown scheme " ^ s)) in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ranking.name s))
+
+let query_run scale seed l threshold t1 t2 kw1 kw2 dna_type method_ scheme k instances =
+  let catalog = make_instance scale seed in
+  let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let endpoint entity kw extra_type =
+    let base =
+      match kw with
+      | Some kw -> Query.keyword catalog entity ~col:"desc" ~kw
+      | None -> Query.endpoint catalog entity
+    in
+    match extra_type with
+    | Some ty when entity = "DNA" ->
+        Query.conj base (Query.equals catalog entity ~col:"type" ~value:(Topo_sql.Value.Str ty))
+    | _ -> base
+  in
+  let q = Query.make (endpoint t1 kw1 None) (endpoint t2 kw2 dna_type) in
+  Printf.printf "query: %s\nmethod: %s, scheme: %s, k: %d\n\n" (Query.to_string q)
+    (Engine.method_name method_) (Ranking.name scheme) k;
+  let r = Engine.run engine q ~method_ ~scheme ~k () in
+  if instances then Topo_core.Report.print engine q r ()
+  else
+    List.iteri
+      (fun i (tid, score) ->
+        let score_str = match score with Some s -> Printf.sprintf " [score %.3g]" s | None -> "" in
+        Printf.printf "%2d. TID %d%s\n    %s\n" (i + 1) tid score_str (Engine.describe engine tid))
+      r.Engine.ranked;
+  Printf.printf "\n%d result(s) in %.1fms\n" (List.length r.Engine.ranked) (r.Engine.elapsed_s *. 1000.0);
+  (match r.Engine.strategy with
+  | Some Topo_sql.Optimizer.Regular -> print_endline "optimizer chose: regular plan"
+  | Some Topo_sql.Optimizer.Early_termination -> print_endline "optimizer chose: DGJ early-termination plan"
+  | None -> ());
+  0
+
+let query_cmd =
+  let kw1 = Arg.(value & opt (some string) None & info [ "kw1" ] ~docv:"WORD" ~doc:"Keyword constraint on $(b,t1)'s description.") in
+  let kw2 = Arg.(value & opt (some string) None & info [ "kw2" ] ~docv:"WORD" ~doc:"Keyword constraint on $(b,t2)'s description.") in
+  let dna_type = Arg.(value & opt (some string) None & info [ "dna-type" ] ~docv:"TYPE" ~doc:"Equality constraint on DNA.type (mRNA, EST, genomic).") in
+  let method_ = Arg.(value & opt method_conv Engine.Fast_top_k_opt & info [ "method" ] ~docv:"M" ~doc:"Evaluation method (paper names, e.g. Fast-Top-k-ET).") in
+  let scheme = Arg.(value & opt scheme_conv Ranking.Domain & info [ "scheme" ] ~docv:"S" ~doc:"Ranking scheme: Freq, Rare or Domain.") in
+  let k = Arg.(value & opt int 10 & info [ "topk"; "n" ] ~docv:"N" ~doc:"Number of results for top-k methods.") in
+  let instances = Arg.(value & flag & info [ "instances" ] ~doc:"Show instance pairs and witnesses per topology (the Figure 5 presentation).") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a topology query over a synthetic Biozon instance.")
+    Term.(
+      const query_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ kw1 $ kw2
+      $ dna_type $ method_ $ scheme $ k $ instances)
+
+(* ------------------------------------------------------------------ *)
+(* topologies                                                           *)
+
+let topologies_run scale seed l threshold t1 t2 n =
+  let catalog = make_instance scale seed in
+  let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let store = Engine.store engine ~t1 ~t2 in
+  let top = Topo_core.Analysis.top_frequent store ~n in
+  Printf.printf "%s-%s %d-topologies by frequency (showing %d):\n\n" t1 t2 l (List.length top);
+  List.iteri
+    (fun i (tid, freq) ->
+      Printf.printf "%2d. TID %-4d freq %-6d %s\n" (i + 1) tid freq (Engine.describe engine tid))
+    top;
+  let series = Topo_core.Analysis.frequency_series store in
+  let s, r2 = Topo_core.Analysis.zipf_fit series in
+  Printf.printf "\n%d topologies total; frequency ~ rank^-%.2f (R^2 %.2f)\n" (Array.length series) s r2;
+  0
+
+let topologies_cmd =
+  let n = Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"How many to show.") in
+  Cmd.v
+    (Cmd.info "topologies" ~doc:"List the topologies of an entity-set pair.")
+    Term.(const topologies_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ n)
+
+(* ------------------------------------------------------------------ *)
+(* schema                                                               *)
+
+let schema_run t1 t2 l =
+  let schema = Biozon.Bschema.schema_graph () in
+  print_endline "entity sets:";
+  List.iter (fun e -> Printf.printf "  %s\n" e) (Topo_graph.Schema_graph.entities schema);
+  print_endline "relationship sets:";
+  List.iter
+    (fun (name, from_, to_) -> Printf.printf "  %-16s %s -- %s\n" name from_ to_)
+    (Topo_graph.Schema_graph.relationships schema);
+  let paths = Topo_graph.Schema_graph.paths schema ~from_:t1 ~to_:t2 ~max_len:l in
+  Printf.printf "\nschema paths %s .. %s of length <= %d: %d\n" t1 t2 l (List.length paths);
+  List.iter
+    (fun p ->
+      Printf.printf "  [%s] %s\n"
+        (if Topo_core.Weak.is_weak_path p then "weak" else " ok ")
+        (Topo_graph.Schema_graph.path_to_string p))
+    paths;
+  0
+
+let schema_cmd =
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Show the Biozon schema and the schema paths between two entity sets.")
+    Term.(const schema_run $ t1_arg $ t2_arg $ l_arg)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                            *)
+
+let enumerate_run t1 t2 l show =
+  let schema = Biozon.Bschema.schema_graph () in
+  let interner = Topo_util.Interner.create () in
+  let r = Topo_graph.Glue.enumerate interner schema ~from_:t1 ~to_:t2 ~max_len:l ~collect:(show > 0) () in
+  Printf.printf "possible %d-topologies between %s and %s:\n" l t1 t2;
+  Printf.printf "  (subset x gluing) combinations: %d%s\n" r.Topo_graph.Glue.gluings_examined
+    (if r.Topo_graph.Glue.truncated then " (truncated)" else "");
+  Printf.printf "  distinct topology graphs:       %d\n" r.Topo_graph.Glue.count;
+  List.iteri
+    (fun i (g, _) ->
+      if i < show then
+        Printf.printf "  (%d) %s\n" (i + 1)
+          (Topo_graph.Lgraph.to_string ~node_name:(Topo_util.Interner.name interner)
+             ~edge_name:(Topo_util.Interner.name interner) g))
+    r.Topo_graph.Glue.topologies;
+  0
+
+let enumerate_cmd =
+  let show = Arg.(value & opt int 0 & info [ "show" ] ~docv:"N" ~doc:"Print the first N graphs.") in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Count all possible topologies between two entity sets (Section 3.1).")
+    Term.(const enumerate_run $ t1_arg $ t2_arg $ l_arg $ show)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                  *)
+
+let sql_run scale seed l threshold t1 t2 query_text =
+  let catalog = make_instance scale seed in
+  let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  (match Topo_sql.Sql.render catalog query_text with
+  | rendered -> print_string rendered
+  | exception Topo_sql.Sql_parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+  | exception Topo_sql.Sql_binder.Bind_error msg -> Printf.printf "bind error: %s\n" msg);
+  0
+
+let sql_cmd =
+  let text = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.") in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Evaluate SQL over a synthetic instance (base tables plus the derived AllTops_*/LeftTops_*/ExcpTops_*/TopInfo_* tables).")
+    Term.(const sql_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text)
+
+(* ------------------------------------------------------------------ *)
+(* nquery                                                               *)
+
+let nquery_run scale seed l threshold entities kws max_tuples =
+  let catalog = make_instance scale seed in
+  if List.length entities < 2 then begin
+    prerr_endline "need at least two --entity arguments";
+    2
+  end
+  else begin
+    let t1 = List.nth entities 0 and t2 = List.nth entities 1 in
+    let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+    let endpoints =
+      List.mapi
+        (fun i entity ->
+          match List.nth_opt kws i with
+          | Some (Some kw) -> Query.keyword catalog entity ~col:"desc" ~kw
+          | Some None | None -> Query.endpoint catalog entity)
+        entities
+    in
+    let r = Nquery.run engine.Engine.ctx ~endpoints ~max_tuples () in
+    Printf.printf "%d qualifying tuples (%d examined%s), %d distinct topologies:\n"
+      (List.length r.Topo_core.Nquery.rows)
+      r.Topo_core.Nquery.tuples_examined
+      (if r.Topo_core.Nquery.truncated then ", truncated" else "")
+      (List.length r.Topo_core.Nquery.topologies);
+    List.iter
+      (fun tid -> Printf.printf "  TID %-4d %s\n" tid (Engine.describe engine tid))
+      r.Topo_core.Nquery.topologies;
+    print_endline "\nsample tuples:";
+    List.iteri
+      (fun i (row : Topo_core.Nquery.row) ->
+        if i < 10 then
+          Printf.printf "  (%s) -> TIDs %s\n"
+            (String.concat ", " (Array.to_list (Array.map string_of_int row.Topo_core.Nquery.entities)))
+            (String.concat "," (List.map string_of_int row.Topo_core.Nquery.tids)))
+      r.Topo_core.Nquery.rows;
+    0
+  end
+
+let nquery_cmd =
+  let entities =
+    Arg.(value & opt_all string [ "Protein"; "Unigene"; "DNA" ]
+         & info [ "entity" ] ~docv:"ENTITY" ~doc:"Endpoint entity set (repeatable, in order).")
+  in
+  let kws =
+    Arg.(value & opt_all (some string) []
+         & info [ "kw" ] ~docv:"WORD" ~doc:"Keyword for the i-th endpoint (repeatable; use --kw= for none).")
+  in
+  let max_tuples = Arg.(value & opt int 2000 & info [ "max-tuples" ] ~docv:"N" ~doc:"Tuple budget.") in
+  Cmd.v
+    (Cmd.info "nquery" ~doc:"Run a multi-endpoint topology query (the paper's future-work extension).")
+    Term.(const nquery_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ entities $ kws $ max_tuples)
+
+(* ------------------------------------------------------------------ *)
+(* dump / load                                                          *)
+
+let dump_run scale seed dir =
+  let catalog = make_instance scale seed in
+  Topo_sql.Dump.save catalog ~dir;
+  Printf.printf "saved %d tables to %s\n" (List.length (Topo_sql.Catalog.tables catalog)) dir;
+  0
+
+let dump_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.") in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Generate a synthetic instance and save it as .tbl files.")
+    Term.(const dump_run $ scale_arg $ seed_arg $ dir)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "toposearch" ~version:"1.0.0"
+       ~doc:"Topology search over biological databases (Guo, Shanmugasundaram, Yona).")
+    [ demo_cmd; query_cmd; topologies_cmd; schema_cmd; enumerate_cmd; sql_cmd; nquery_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/multi_endpoint.ml: Array Biozon Compare Context Engine List Nquery Printf Query String Topo_core Topo_sql

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Biozon Context Engine Instances List Printf Query Store Topo_core Topo_graph Topo_sql Topology

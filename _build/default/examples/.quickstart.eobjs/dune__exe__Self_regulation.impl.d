@@ -1,0 +1,1 @@
+examples/self_regulation.ml: Array Biozon Context Engine Instances List Printf Query Ranking Topo_core Topo_graph Topo_sql Topo_util Topology

@@ -1,0 +1,1 @@
+examples/sql_console.ml: Array Biozon List Printf Sys Topo_core Topo_sql

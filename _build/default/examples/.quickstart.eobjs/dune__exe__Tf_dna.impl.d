@@ -1,0 +1,1 @@
+examples/tf_dna.ml: Array Biozon Engine Instances List Option Printf Query Ranking Store Topo_core Topo_sql

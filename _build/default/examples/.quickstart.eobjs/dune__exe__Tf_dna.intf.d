@@ -1,0 +1,1 @@
+examples/tf_dna.mli:

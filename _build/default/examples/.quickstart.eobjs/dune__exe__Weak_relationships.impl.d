@@ -1,0 +1,1 @@
+examples/weak_relationships.ml: Biozon Context Engine Hashtbl List Printf Ranking Store Topo_core Topo_graph Unix Weak

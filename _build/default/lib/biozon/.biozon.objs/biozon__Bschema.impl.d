@@ -1,0 +1,1 @@
+lib/biozon/bschema.ml: Array Catalog List Option Schema Table Topo_graph Topo_sql Value

@@ -1,0 +1,1 @@
+lib/biozon/bschema.mli: Topo_graph Topo_sql Topo_util

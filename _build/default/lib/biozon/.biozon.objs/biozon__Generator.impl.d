@@ -1,0 +1,1 @@
+lib/biozon/generator.ml: Array Bschema Catalog Hashtbl List Option Table Topo_sql Topo_util Value Vocab

@@ -1,0 +1,1 @@
+lib/biozon/generator.mli: Topo_sql

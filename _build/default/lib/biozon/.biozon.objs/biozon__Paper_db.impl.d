@@ -1,0 +1,1 @@
+lib/biozon/paper_db.ml: Bschema Catalog Table Topo_sql Value

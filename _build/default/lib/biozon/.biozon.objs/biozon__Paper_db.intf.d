@@ -1,0 +1,1 @@
+lib/biozon/paper_db.mli: Topo_sql

@@ -1,0 +1,1 @@
+lib/biozon/vocab.ml: Array List String Topo_util

@@ -1,0 +1,1 @@
+lib/biozon/vocab.mli: Topo_util

@@ -1,0 +1,41 @@
+let protein_keywords = [ ("kinase", 0.15); ("enzyme", 0.50); ("protein", 0.85) ]
+
+let interaction_keywords = [ ("inhibition", 0.15); ("binding", 0.50); ("complex", 0.85) ]
+
+let keyword_for kind sel =
+  let table = match kind with `Protein -> protein_keywords | `Interaction -> interaction_keywords in
+  let idx = match sel with `Selective -> 0 | `Medium -> 1 | `Unselective -> 2 in
+  fst (List.nth table idx)
+
+let dna_types = [ ("mRNA", 0.5); ("EST", 0.3); ("genomic", 0.2) ]
+
+let fillers =
+  [|
+    "ubiquitin"; "conjugating"; "homolog"; "putative"; "hypothetical"; "variant"; "sapiens";
+    "transcription"; "factor"; "regulatory"; "membrane"; "nuclear"; "mitochondrial"; "ribosomal";
+    "polymerase"; "synthase"; "receptor"; "transporter"; "domain"; "zinc"; "finger"; "helix";
+    "carrier"; "chain"; "alpha"; "beta"; "gamma"; "precursor"; "isoform"; "subunit"; "dependent";
+    "induced"; "repressor"; "activator"; "cds"; "partial"; "fragment"; "chromosome"; "operon";
+  |]
+
+let description prng ~keywords =
+  let n = Topo_util.Prng.int_in_range prng ~lo:3 ~hi:6 in
+  let words = ref [] in
+  for _ = 1 to n do
+    words := Topo_util.Prng.choose prng fillers :: !words
+  done;
+  List.iter
+    (fun (kw, p) -> if Topo_util.Prng.chance prng p then words := kw :: !words)
+    keywords;
+  (* Shuffle so keywords do not always lead. *)
+  let arr = Array.of_list !words in
+  Topo_util.Prng.shuffle prng arr;
+  String.concat " " (Array.to_list arr)
+
+let dna_type prng =
+  let u = Topo_util.Prng.float prng in
+  let rec pick acc = function
+    | [] -> fst (List.hd dna_types)
+    | (ty, w) :: rest -> if u < acc +. w then ty else pick (acc +. w) rest
+  in
+  pick 0.0 dna_types

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Context Hashtbl Int List Query Topo_graph Topo_util

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Int List Option Set Topo_graph Topology

@@ -1,0 +1,1 @@
+lib/core/compute.ml: Array Hashtbl List Topo_graph Topo_util Topology

@@ -1,0 +1,1 @@
+lib/core/compute.mli: Topo_graph Topology

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Catalog Compute Expr Hashtbl List Query Store Table Topo_graph Topo_sql Topo_util Topology Value

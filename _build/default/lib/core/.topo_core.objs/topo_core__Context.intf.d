@@ -1,0 +1,1 @@
+lib/core/context.mli: Compute Hashtbl Query Store Topo_graph Topo_sql Topo_util Topology

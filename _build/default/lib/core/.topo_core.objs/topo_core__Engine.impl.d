@@ -1,0 +1,1 @@
+lib/core/engine.ml: Biozon Compute Context Hashtbl List Methods Ranking Store Topo_sql Topo_util Topology Unix Weak

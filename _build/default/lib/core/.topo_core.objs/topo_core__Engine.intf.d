@@ -1,0 +1,1 @@
+lib/core/engine.mli: Compute Context Query Ranking Store Topo_sql Topology

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Catalog Compute Context Index List Option Store Table Topo_graph Topo_sql Topology Value

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Context Query Store Topo_graph

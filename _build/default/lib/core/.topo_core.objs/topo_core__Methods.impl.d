@@ -1,0 +1,1 @@
+lib/core/methods.ml: Array Catalog Compute Context Float Hashtbl Int Iterator List Optimizer Option Physical Query Ranking Schema Store Table Topo_graph Topo_sql Topology Value

@@ -1,0 +1,1 @@
+lib/core/methods.mli: Context Query Ranking Store Topo_sql Topology

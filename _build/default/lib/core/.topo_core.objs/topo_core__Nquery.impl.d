@@ -1,0 +1,1 @@
+lib/core/nquery.ml: Array Compute Context Hashtbl List Query Topo_graph Topology

@@ -1,0 +1,1 @@
+lib/core/nquery.mli: Context Query

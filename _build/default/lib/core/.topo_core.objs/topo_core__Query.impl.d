@@ -1,0 +1,1 @@
+lib/core/query.ml: Catalog Expr Printf Schema Table Topo_sql Value

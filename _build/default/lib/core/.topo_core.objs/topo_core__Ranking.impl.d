@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Float List Topo_graph Topo_util Topology Weak

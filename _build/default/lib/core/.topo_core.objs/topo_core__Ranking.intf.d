@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Topo_util Topology

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Biozon Buffer Context Engine Instances List Methods Printf Query Store Topo_graph Topo_sql Topo_util

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Catalog Compute Float Hashtbl Index Int Lazy List Option Printf Ranking Schema Table Topo_sql Topology Value

@@ -1,0 +1,1 @@
+lib/core/store.mli: Compute Hashtbl Ranking Topo_sql Topo_util Topology

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Buffer Hashtbl List Printf String Topo_graph Topo_util

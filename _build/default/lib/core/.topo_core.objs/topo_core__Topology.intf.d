@@ -1,0 +1,1 @@
+lib/core/topology.mli: Topo_graph Topo_util

@@ -1,0 +1,1 @@
+lib/core/weak.ml: Array Float List String Topo_graph Topology

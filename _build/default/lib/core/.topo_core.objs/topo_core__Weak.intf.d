@@ -1,0 +1,1 @@
+lib/core/weak.mli: Topo_graph Topology

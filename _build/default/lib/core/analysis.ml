@@ -1,0 +1,51 @@
+let frequency_series (store : Store.t) =
+  let freqs = Hashtbl.fold (fun _ f acc -> f :: acc) store.Store.frequencies [] in
+  let arr = Array.of_list freqs in
+  Array.sort (fun a b -> Int.compare b a) arr;
+  arr
+
+let top_frequent (store : Store.t) ~n =
+  Hashtbl.fold (fun tid f acc -> (tid, f) :: acc) store.Store.frequencies []
+  |> List.sort (fun (ta, fa) (tb, fb) ->
+         let c = Int.compare fb fa in
+         if c <> 0 then c else Int.compare ta tb)
+  |> List.filteri (fun i _ -> i < n)
+
+let zipf_fit series =
+  let points =
+    Array.to_list series
+    |> List.mapi (fun i f -> (i + 1, f))
+    |> List.filter (fun (_, f) -> f > 0)
+    |> List.map (fun (rank, f) -> (log (float_of_int rank), log (float_of_int f)))
+  in
+  let n = float_of_int (List.length points) in
+  if List.length points < 2 then (0.0, 0.0)
+  else begin
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+    let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-12 then (0.0, 0.0)
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      let mean_y = sy /. n in
+      let ss_tot = List.fold_left (fun acc (_, y) -> acc +. ((y -. mean_y) ** 2.0)) 0.0 points in
+      let ss_res =
+        List.fold_left (fun acc (x, y) -> acc +. ((y -. (intercept +. (slope *. x))) ** 2.0)) 0.0 points
+      in
+      let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      (-.slope, r2)
+    end
+  end
+
+let simple_fraction registry store ~n =
+  let top = top_frequent store ~n in
+  if top = [] then 0.0
+  else begin
+    let simple =
+      List.length (List.filter (fun (tid, _) -> Topology.is_single_path (Topology.find registry tid)) top)
+    in
+    float_of_int simple /. float_of_int (List.length top)
+  end

@@ -1,0 +1,21 @@
+(** Topology statistics (Section 4.2.1): the data behind Figure 11's
+    frequency distributions and Figure 12's top-10 listing. *)
+
+(** [frequency_series store] is the frequencies of the pair's topologies,
+    descending — the y values of one Figure 11 curve (x = rank). *)
+val frequency_series : Store.t -> int array
+
+(** [top_frequent store ~n] is the [n] most frequent topologies with their
+    frequencies, descending (Figure 12's content for n = 10). *)
+val top_frequent : Store.t -> n:int -> (int * int) list
+
+(** [zipf_fit series] fits log(freq) ~ a - s * log(rank) by least squares
+    and returns [(s, r2)]: the Zipf exponent and the fit quality.  Ranks
+    with zero frequency are dropped.  Used to check the "approximately
+    Zipfian" claim quantitatively. *)
+val zipf_fit : int array -> float * float
+
+(** [simple_fraction registry store ~n] is the fraction of the top-[n]
+    most frequent topologies whose representative is a single path —
+    Figure 12's observation that frequent topologies are simple. *)
+val simple_fraction : Topology.registry -> Store.t -> n:int -> float

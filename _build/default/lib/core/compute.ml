@@ -1,0 +1,194 @@
+module Dyn = Topo_util.Dyn
+module Sg = Topo_graph.Schema_graph
+module Dg = Topo_graph.Data_graph
+module Lgraph = Topo_graph.Lgraph
+
+type caps = { max_reps_per_class : int; max_combos_per_pair : int; max_paths_per_class : int }
+
+let default_caps = { max_reps_per_class = 8; max_combos_per_pair = 256; max_paths_per_class = 2_000_000 }
+
+type stats = {
+  schema_paths : int;
+  instance_paths : int;
+  pairs : int;
+  unions : int;
+  capped_pairs : int;
+}
+
+type pair_row = { a : int; b : int; tids : int list; class_keys : string list }
+
+(* Per-pair accumulation: class key -> representatives (schema path +
+   concrete node ids). *)
+type bucket = {
+  mutable reps : (string * (Sg.path * int array) Dyn.t) list;
+  mutable capped : bool;
+}
+
+(* Representatives are collected unbounded and truncated later against a
+   deterministic (sorted) order, so every code path — the offline sweep,
+   anchored recomputation, witness retrieval — selects the same sample and
+   the methods stay mutually consistent even on capped pairs. *)
+let bucket_add _caps bucket key path ids =
+  (* Normalize the representative's orientation (same-type pairs can
+     discover one instance from either end) so sorting is stable across
+     enumeration directions. *)
+  let path, ids =
+    let n = Array.length ids in
+    let rev_ids = Array.init n (fun i -> ids.(n - 1 - i)) in
+    if compare rev_ids ids < 0 then (Sg.reverse path, rev_ids) else (path, ids)
+  in
+  let dyn =
+    match List.assoc_opt key bucket.reps with
+    | Some d -> d
+    | None ->
+        let d = Dyn.create () in
+        bucket.reps <- (key, d) :: bucket.reps;
+        d
+  in
+  Dyn.push dyn (path, ids)
+
+let compare_reps ((_, ids_a) : Sg.path * int array) ((_, ids_b) : Sg.path * int array) =
+  compare ids_a ids_b
+
+let canonical_reps caps bucket =
+  List.map
+    (fun (key, d) ->
+      let arr = Dyn.to_array d in
+      Array.sort compare_reps arr;
+      let kept =
+        if Array.length arr > caps.max_reps_per_class then begin
+          bucket.capped <- true;
+          Array.sub arr 0 caps.max_reps_per_class
+        end
+        else arr
+      in
+      (key, kept))
+    bucket.reps
+
+let union_of_representatives dg reps =
+  let g = Lgraph.empty () in
+  List.iter
+    (fun ((p : Sg.path), ids) ->
+      Array.iter
+        (fun id -> if not (Lgraph.mem_node g id) then Lgraph.add_node g ~id ~label:(Dg.node_type_label dg id))
+        ids;
+      Array.iteri
+        (fun i rel ->
+          let label = Topo_util.Interner.intern (Dg.interner dg) ("e:" ^ rel) in
+          Lgraph.add_edge g ~u:ids.(i) ~v:ids.(i + 1) ~label)
+        p.Sg.rels)
+    reps;
+  g
+
+(* Definition 2: union one representative per class, over the (capped)
+   cartesian product of representatives; canonicalize and dedup. *)
+let topologies_of_bucket dg registry caps bucket ~unions_counter =
+  let classes =
+    List.sort (fun ((ka : string), _) (kb, _) -> compare ka kb) (canonical_reps caps bucket)
+  in
+  let class_keys = List.map fst classes in
+  let rep_arrays = List.map snd classes in
+  let n_classes = List.length rep_arrays in
+  let counts = Array.of_list (List.map Array.length rep_arrays) in
+  let reps = Array.of_list rep_arrays in
+  let indices = Array.make n_classes 0 in
+  let tids = ref [] in
+  let combos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr combos;
+    incr unions_counter;
+    let chosen = List.init n_classes (fun c -> reps.(c).(indices.(c))) in
+    let g = union_of_representatives dg chosen in
+    let t = Topology.register registry g ~decomposition:class_keys in
+    if not (List.mem t.Topology.tid !tids) then tids := t.Topology.tid :: !tids;
+    (* Odometer increment. *)
+    let rec bump c =
+      if c < 0 then continue := false
+      else begin
+        indices.(c) <- indices.(c) + 1;
+        if indices.(c) >= counts.(c) then begin
+          indices.(c) <- 0;
+          bump (c - 1)
+        end
+      end
+    in
+    bump (n_classes - 1);
+    if !combos >= caps.max_combos_per_pair && !continue then begin
+      bucket.capped <- true;
+      continue := false
+    end
+  done;
+  (List.sort compare !tids, class_keys)
+
+let schema_paths_between schema ~t1 ~t2 ~l = Sg.paths schema ~from_:t1 ~to_:t2 ~max_len:l
+
+exception Path_budget
+
+let alltops dg schema registry ~t1 ~t2 ~l ~caps ?(path_filter = fun _ -> true) () =
+  let paths = List.filter path_filter (schema_paths_between schema ~t1 ~t2 ~l) in
+  let buckets : (int * int, bucket) Hashtbl.t = Hashtbl.create 4096 in
+  let same_type = t1 = t2 in
+  let instance_paths = ref 0 in
+  List.iter
+    (fun (p : Sg.path) ->
+      let key = Sg.path_key p in
+      let seen_for_path = ref 0 in
+      let handle ids =
+        incr instance_paths;
+        incr seen_for_path;
+        if !seen_for_path > caps.max_paths_per_class then raise Path_budget;
+        let a0 = ids.(0) and b0 = ids.(Array.length ids - 1) in
+        let pk = if same_type && a0 > b0 then (b0, a0) else (a0, b0) in
+        let bucket =
+          match Hashtbl.find_opt buckets pk with
+          | Some b -> b
+          | None ->
+              let b = { reps = []; capped = false } in
+              Hashtbl.add buckets pk b;
+              b
+        in
+        bucket_add caps bucket key p ids
+      in
+      try Dg.iter_instance_paths dg p ~f:handle with Path_budget -> ())
+    paths;
+  let unions_counter = ref 0 in
+  let rows =
+    Hashtbl.fold
+      (fun (a, b) bucket acc ->
+        let tids, class_keys = topologies_of_bucket dg registry caps bucket ~unions_counter in
+        { a; b; tids; class_keys } :: acc)
+      buckets []
+    |> List.sort (fun r1 r2 -> compare (r1.a, r1.b) (r2.a, r2.b))
+  in
+  let capped_pairs = Hashtbl.fold (fun _ b acc -> if b.capped then acc + 1 else acc) buckets 0 in
+  ( rows,
+    {
+      schema_paths = List.length paths;
+      instance_paths = !instance_paths;
+      pairs = List.length rows;
+      unions = !unions_counter;
+      capped_pairs;
+    } )
+
+let pair_topologies dg schema registry ~t1 ~t2 ~a ~b ~l ~caps =
+  let paths = schema_paths_between schema ~t1 ~t2 ~l in
+  let bucket = { reps = []; capped = false } in
+  List.iter
+    (fun (p : Sg.path) ->
+      let key = Sg.path_key p in
+      Dg.iter_instance_paths_between dg p ~a ~b ~f:(fun ids -> bucket_add caps bucket key p ids);
+      (* When both endpoints have the same type, instances of this class may
+         read as the reversed sequence from [a]. *)
+      if t1 = t2 then begin
+        let rev = Sg.reverse p in
+        if rev <> p then
+          Dg.iter_instance_paths_between dg rev ~a ~b ~f:(fun ids -> bucket_add caps bucket key rev ids)
+      end)
+    paths;
+  if bucket.reps = [] then { a; b; tids = []; class_keys = [] }
+  else begin
+    let unions_counter = ref 0 in
+    let tids, class_keys = topologies_of_bucket dg registry caps bucket ~unions_counter in
+    { a; b; tids; class_keys }
+  end

@@ -1,0 +1,82 @@
+(** The Topology Computation module (Section 4.1) and the per-pair
+    semantics of Definitions 1-3.
+
+    [pair_topologies] computes l-Top(a, b) for one entity pair — the
+    building block behind the SQL method and tests of the formal
+    definitions.  [alltops] runs the offline sweep for a whole entity-set
+    pair: enumerate every schema path of length <= l, enumerate its
+    instances (a join chain per path, as Section 4.1 describes), group by
+    (first, last) entity, and union one representative per path equivalence
+    class over the cartesian product of representatives.
+
+    Caps bound the weak-relationship blowups the paper reports (up to 5000
+    instances of one path class per pair, >1 day for l = 4): at most
+    [max_reps_per_class] representatives per class enter the product and at
+    most [max_combos_per_pair] unions are formed per pair (combinations are
+    truncated deterministically).  Defaults are high enough that nothing is
+    capped at the default generator scale; the benchmarks print the
+    cap-hit counters. *)
+
+type caps = {
+  max_reps_per_class : int;  (** representatives kept per (pair, class) *)
+  max_combos_per_pair : int;  (** unions formed per pair *)
+  max_paths_per_class : int;  (** instance paths enumerated per schema path *)
+}
+
+val default_caps : caps
+
+type stats = {
+  schema_paths : int;  (** schema paths of length <= l between the types *)
+  instance_paths : int;  (** instance paths enumerated *)
+  pairs : int;  (** connected (a, b) pairs found *)
+  unions : int;  (** union graphs canonicalized *)
+  capped_pairs : int;  (** pairs where some cap truncated the product *)
+}
+
+(** Result row for one connected pair. *)
+type pair_row = {
+  a : int;
+  b : int;
+  tids : int list;  (** l-Top(a,b), ascending TIDs *)
+  class_keys : string list;  (** l-PathEC(a,b), sorted — the satisfied path conditions *)
+}
+
+(** [pair_topologies dg schema registry ~t1 ~t2 ~a ~b ~l ~caps] computes
+    l-Top(a,b) directly (anchored enumeration), registering any new
+    topologies.  Returns the pair row ([tids] empty when unrelated). *)
+val pair_topologies :
+  Topo_graph.Data_graph.t ->
+  Topo_graph.Schema_graph.t ->
+  Topology.registry ->
+  t1:string ->
+  t2:string ->
+  a:int ->
+  b:int ->
+  l:int ->
+  caps:caps ->
+  pair_row
+
+(** [alltops dg schema registry ~t1 ~t2 ~l ~caps ?path_filter ()] runs the
+    offline sweep for the whole entity-set pair, returning every connected
+    pair's row and sweep statistics.  Rows are sorted by (a, b).
+    [path_filter] drops schema paths before enumeration — the paper's
+    proposed remedy for weak relationships ("use domain knowledge to prune
+    such weak topologies", Section 6.2.3); pass
+    [fun p -> not (Weak.is_weak_path p)] to exclude them. *)
+val alltops :
+  Topo_graph.Data_graph.t ->
+  Topo_graph.Schema_graph.t ->
+  Topology.registry ->
+  t1:string ->
+  t2:string ->
+  l:int ->
+  caps:caps ->
+  ?path_filter:(Topo_graph.Schema_graph.path -> bool) ->
+  unit ->
+  pair_row list * stats
+
+(** [union_of_representatives dg reps] builds the instance subgraph that is
+    the union of the given paths (each as (schema_path, node ids)); exposed
+    for tests of Definition 2. *)
+val union_of_representatives :
+  Topo_graph.Data_graph.t -> (Topo_graph.Schema_graph.path * int array) list -> Topo_graph.Lgraph.t

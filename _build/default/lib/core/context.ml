@@ -1,0 +1,67 @@
+open Topo_sql
+module Sg = Topo_graph.Schema_graph
+module Dg = Topo_graph.Data_graph
+
+type t = {
+  catalog : Catalog.t;
+  interner : Topo_util.Interner.t;
+  dg : Dg.t;
+  schema : Sg.t;
+  registry : Topology.registry;
+  l : int;
+  caps : Compute.caps;
+  class_paths : (string, Sg.path) Hashtbl.t;
+  stores : (string * string, Store.t) Hashtbl.t;
+}
+
+let store_for t ~t1 ~t2 =
+  match Hashtbl.find_opt t.stores (t1, t2) with
+  | Some s -> (s, true)
+  | None -> (
+      match Hashtbl.find_opt t.stores (t2, t1) with
+      | Some s -> (s, false)
+      | None -> raise Not_found)
+
+let register_class_paths t ~t1 ~t2 =
+  List.iter
+    (fun p -> Hashtbl.replace t.class_paths (Sg.path_key p) p)
+    (Sg.paths t.schema ~from_:t1 ~to_:t2 ~max_len:t.l)
+
+let class_path t key =
+  match Hashtbl.find_opt t.class_paths key with
+  | Some p -> p
+  | None -> raise Not_found
+
+let satisfying_ids t (endpoint : Query.endpoint) =
+  let table = Catalog.find t.catalog endpoint.Query.entity in
+  let out = Topo_util.Dyn.create () in
+  Table.iter
+    (fun _ tuple ->
+      let ok = match endpoint.Query.pred with None -> true | Some p -> Expr.truthy p tuple in
+      if ok then Topo_util.Dyn.push out (Value.as_int tuple.(0)))
+    table;
+  let arr = Topo_util.Dyn.to_array out in
+  Array.sort compare arr;
+  arr
+
+let satisfies t (endpoint : Query.endpoint) id =
+  let table = Catalog.find t.catalog endpoint.Query.entity in
+  match Table.find_by_pk table (Value.Int id) with
+  | None -> false
+  | Some tuple -> ( match endpoint.Query.pred with None -> true | Some p -> Expr.truthy p tuple)
+
+exception Found
+
+let class_exists_between t key ~a ~b =
+  let p = class_path t key in
+  let probe path =
+    try
+      Dg.iter_instance_paths_between t.dg path ~a ~b ~f:(fun _ -> raise Found);
+      false
+    with Found -> true
+  in
+  probe p
+  ||
+  (* Same endpoint types: the class may read reversed from [a]. *)
+  let rev = Sg.reverse p in
+  p.Sg.types.(0) = p.Sg.types.(Array.length p.Sg.types - 1) && rev <> p && probe rev

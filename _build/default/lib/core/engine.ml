@@ -1,0 +1,108 @@
+type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list }
+
+type method_ =
+  | Sql
+  | Full_top
+  | Fast_top
+  | Full_top_k
+  | Fast_top_k
+  | Full_top_k_et
+  | Fast_top_k_et
+  | Full_top_k_opt
+  | Fast_top_k_opt
+
+let all_methods =
+  [
+    Sql;
+    Full_top;
+    Fast_top;
+    Full_top_k;
+    Fast_top_k;
+    Full_top_k_et;
+    Fast_top_k_et;
+    Full_top_k_opt;
+    Fast_top_k_opt;
+  ]
+
+let method_name = function
+  | Sql -> "SQL"
+  | Full_top -> "Full-Top"
+  | Fast_top -> "Fast-Top"
+  | Full_top_k -> "Full-Top-k"
+  | Fast_top_k -> "Fast-Top-k"
+  | Full_top_k_et -> "Full-Top-k-ET"
+  | Fast_top_k_et -> "Fast-Top-k-ET"
+  | Full_top_k_opt -> "Full-Top-k-Opt"
+  | Fast_top_k_opt -> "Fast-Top-k-Opt"
+
+let build catalog ~pairs ?(l = 3) ?(caps = Compute.default_caps) ?(pruning_threshold = 50)
+    ?(exclude_weak = false) ?(min_reliability = 0.0) () =
+  let interner = Topo_util.Interner.create () in
+  let dg = Biozon.Bschema.data_graph catalog interner in
+  let schema = Biozon.Bschema.schema_graph () in
+  let registry = Topology.create_registry () in
+  let ctx =
+    {
+      Context.catalog;
+      interner;
+      dg;
+      schema;
+      registry;
+      l;
+      caps;
+      class_paths = Hashtbl.create 256;
+      stores = Hashtbl.create 8;
+    }
+  in
+  let build_stats =
+    List.map
+      (fun (t1, t2) ->
+        Context.register_class_paths ctx ~t1 ~t2;
+        let path_filter p =
+          ((not exclude_weak) || not (Weak.is_weak_path p))
+          && Weak.path_reliability p >= min_reliability
+        in
+        let rows, stats = Compute.alltops dg schema registry ~t1 ~t2 ~l ~caps ~path_filter () in
+        let store = Store.build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold in
+        Hashtbl.replace ctx.Context.stores (t1, t2) store;
+        (t1, t2, stats))
+      pairs
+  in
+  { ctx; build_stats }
+
+type result = {
+  ranked : (int * float option) list;
+  elapsed_s : float;
+  method_ : method_;
+  strategy : Topo_sql.Optimizer.strategy option;
+}
+
+let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls () =
+  let aligned = Methods.align t.ctx query in
+  let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
+  let plain l = List.map (fun tid -> (tid, None)) l in
+  let start = Unix.gettimeofday () in
+  let ranked, strategy =
+    match method_ with
+    | Sql -> (plain (Methods.sql_method t.ctx aligned), None)
+    | Full_top -> (plain (Methods.full_top t.ctx aligned), None)
+    | Fast_top -> (plain (Methods.fast_top t.ctx aligned), None)
+    | Full_top_k -> (with_scores (Methods.full_top_k t.ctx aligned ~scheme ~k), None)
+    | Fast_top_k -> (with_scores (Methods.fast_top_k t.ctx aligned ~scheme ~k), None)
+    | Full_top_k_et -> (with_scores (Methods.full_top_k_et t.ctx aligned ~scheme ~k ?impls ()), None)
+    | Fast_top_k_et -> (with_scores (Methods.fast_top_k_et t.ctx aligned ~scheme ~k ?impls ()), None)
+    | Full_top_k_opt ->
+        let results, strategy = Methods.full_top_k_opt t.ctx aligned ~scheme ~k in
+        (with_scores results, Some strategy)
+    | Fast_top_k_opt ->
+        let results, strategy = Methods.fast_top_k_opt t.ctx aligned ~scheme ~k in
+        (with_scores results, Some strategy)
+  in
+  let elapsed_s = Unix.gettimeofday () -. start in
+  { ranked; elapsed_s; method_; strategy }
+
+let topology t tid = Topology.find t.ctx.Context.registry tid
+
+let describe t tid = Topology.describe t.ctx.Context.interner (topology t tid)
+
+let store t ~t1 ~t2 = fst (Context.store_for t.ctx ~t1 ~t2)

@@ -1,0 +1,75 @@
+(** The Topology Query Engine facade (Figure 10).
+
+    [build] runs the offline phase over a Biozon-schema catalog: it
+    materializes the instance graph, runs Topology Computation for each
+    requested entity-set pair, prunes with the given threshold, and
+    registers the derived tables.  [run] evaluates a query online with any
+    of the nine methods. *)
+
+type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list }
+
+type method_ =
+  | Sql
+  | Full_top
+  | Fast_top
+  | Full_top_k
+  | Fast_top_k
+  | Full_top_k_et
+  | Fast_top_k_et
+  | Full_top_k_opt
+  | Fast_top_k_opt
+
+(** Every method, in the order of Table 2's rows. *)
+val all_methods : method_ list
+
+(** [method_name m] is the paper's name, e.g. ["Fast-Top-k-ET"]. *)
+val method_name : method_ -> string
+
+(** [build catalog ~pairs ?l ?caps ?pruning_threshold ?exclude_weak ()]
+    runs the offline phase.  [pairs] lists the entity-set pairs to
+    precompute (e.g. [("Protein", "DNA")]).  [l] defaults to 3 (the paper's
+    main setting), [pruning_threshold] to 50 (scaled from the paper's 2M
+    for the synthetic instance size).  [exclude_weak] (default false)
+    drops weak schema paths from the sweep — the Section 6.2.3 remedy —
+    and [min_reliability] is the graded alternative (keep only schema
+    paths with {!Weak.path_reliability} at or above the threshold). *)
+val build :
+  Topo_sql.Catalog.t ->
+  pairs:(string * string) list ->
+  ?l:int ->
+  ?caps:Compute.caps ->
+  ?pruning_threshold:int ->
+  ?exclude_weak:bool ->
+  ?min_reliability:float ->
+  unit ->
+  t
+
+type result = {
+  ranked : (int * float option) list;  (** TIDs with scores for top-k methods *)
+  elapsed_s : float;
+  method_ : method_;
+  strategy : Topo_sql.Optimizer.strategy option;  (** what an -Opt method chose *)
+}
+
+(** [run t query ~method_ ?scheme ?k ?impls ()] evaluates.  [scheme]
+    defaults to [Freq], [k] to 10; both are ignored by non-top-k methods.
+    [impls] pins DGJ implementations for the -ET methods. *)
+val run :
+  t ->
+  Query.t ->
+  method_:method_ ->
+  ?scheme:Ranking.scheme ->
+  ?k:int ->
+  ?impls:[ `I | `H ] list ->
+  unit ->
+  result
+
+(** [topology t tid].  @raise Not_found for unknown TIDs. *)
+val topology : t -> int -> Topology.t
+
+(** [describe t tid] pretty-prints a topology. *)
+val describe : t -> int -> string
+
+(** [store t ~t1 ~t2] exposes a pair's store (either orientation).
+    @raise Not_found when the pair was not built. *)
+val store : t -> t1:string -> t2:string -> Store.t

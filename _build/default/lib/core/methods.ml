@@ -1,0 +1,311 @@
+open Topo_sql
+module Sg = Topo_graph.Schema_graph
+module Dg = Topo_graph.Data_graph
+
+type aligned = { store : Store.t; ea : Query.endpoint; eb : Query.endpoint }
+
+let align (ctx : Context.t) (q : Query.t) =
+  let store, straight =
+    Context.store_for ctx ~t1:q.Query.e1.Query.entity ~t2:q.Query.e2.Query.entity
+  in
+  if straight then { store; ea = q.Query.e1; eb = q.Query.e2 }
+  else { store; ea = q.Query.e2; eb = q.Query.e1 }
+
+(* ------------------------------------------------------------------ *)
+(* Plan builders                                                       *)
+
+let scan_endpoint (e : Query.endpoint) alias =
+  Physical.Scan { table = e.Query.entity; alias = Some alias; pred = e.Query.pred }
+
+(* sigma(A) |x| fact |x| sigma(B) -> distinct TID.  Fact tables are
+   (E1, E2, TID). *)
+let tids_plan ctx aligned ~fact =
+  let a_arity = Schema.arity (Table.schema (Catalog.find ctx.Context.catalog aligned.ea.Query.entity)) in
+  let join_a =
+    Physical.HashJoin
+      {
+        left = Physical.Scan { table = fact; alias = Some "F"; pred = None };
+        right = scan_endpoint aligned.ea "A";
+        left_cols = [| 0 |];
+        (* E1 *)
+        right_cols = [| 0 |];
+        (* ID *)
+        residual = None;
+      }
+  in
+  let join_b =
+    Physical.HashJoin
+      {
+        left = join_a;
+        right = scan_endpoint aligned.eb "B";
+        left_cols = [| 1 |];
+        (* E2 *)
+        right_cols = [| 0 |];
+        residual = None;
+      }
+  in
+  ignore a_arity;
+  Physical.Distinct (Physical.Project { input = join_b; cols = [ 2 ] })
+
+let run_tids ctx plan =
+  Physical.run ctx.Context.catalog plan
+  |> List.map (fun tuple -> Value.as_int tuple.(0))
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Pruned-topology base-data checks                                    *)
+
+exception Found_pair of int * int
+
+(* Enumerate candidate partners of [a] through the class [key]
+   (handling same-endpoint-type reversals), calling [f b]. *)
+let iter_class_partners ctx key ~a ~f =
+  let p = Context.class_path ctx key in
+  let last (ids : int array) = ids.(Array.length ids - 1) in
+  Dg.iter_instance_paths_from ctx.Context.dg p ~source:a ~f:(fun ids -> f (last ids));
+  let rev = Sg.reverse p in
+  if p.Sg.types.(0) = p.Sg.types.(Array.length p.Sg.types - 1) && rev <> p then
+    Dg.iter_instance_paths_from ctx.Context.dg rev ~source:a ~f:(fun ids -> f (last ids))
+
+(* The bottom sub-query of SQL1: does a qualifying pair satisfy the pruned
+   topology's path condition (under any of its derivations) without being
+   excepted? *)
+let pruned_find_one (ctx : Context.t) aligned (p : Topology.t) decomposition =
+  match decomposition with
+  | [] -> None
+  | first_class :: other_classes -> (
+      let a_ids = Context.satisfying_ids ctx aligned.ea in
+      let checked = Hashtbl.create 64 in
+      try
+        Array.iter
+          (fun a ->
+            iter_class_partners ctx first_class ~a ~f:(fun b ->
+                if not (Hashtbl.mem checked (a, b)) then begin
+                  Hashtbl.add checked (a, b) ();
+                  if
+                    Context.satisfies ctx aligned.eb b
+                    && List.for_all (fun key -> Context.class_exists_between ctx key ~a ~b) other_classes
+                    && not
+                         (Store.is_excepted aligned.store ctx.Context.catalog ~a ~b ~tid:p.Topology.tid)
+                  then raise (Found_pair (a, b))
+                end))
+          a_ids;
+        None
+      with Found_pair (a, b) -> Some (a, b))
+
+let pruned_find ctx aligned (p : Topology.t) =
+  List.find_map (fun d -> pruned_find_one ctx aligned p d) p.Topology.decompositions
+
+let pruned_check ctx aligned p = Option.is_some (pruned_find ctx aligned p)
+
+(* ------------------------------------------------------------------ *)
+(* Non-top-k methods                                                   *)
+
+let full_top ctx aligned = run_tids ctx (tids_plan ctx aligned ~fact:aligned.store.Store.alltops)
+
+let fast_top ctx aligned =
+  let base = run_tids ctx (tids_plan ctx aligned ~fact:aligned.store.Store.lefttops) in
+  let extra =
+    List.filter_map
+      (fun (p : Topology.t) -> if pruned_check ctx aligned p then Some p.Topology.tid else None)
+      aligned.store.Store.pruned
+  in
+  List.sort_uniq compare (base @ extra)
+
+let sql_method (ctx : Context.t) aligned =
+  (* One existence probe per observed topology; every probe recomputes pair
+     topologies from base data (no sharing between probes — the method's
+     documented inefficiency). *)
+  let topinfo = Catalog.find ctx.Context.catalog aligned.store.Store.topinfo in
+  let observed = ref [] in
+  Table.iter (fun _ tuple -> observed := Value.as_int tuple.(0) :: !observed) topinfo;
+  let a_ids = Context.satisfying_ids ctx aligned.ea in
+  let t1 = aligned.store.Store.t1 and t2 = aligned.store.Store.t2 in
+  let check tid =
+    let p = Topology.find ctx.Context.registry tid in
+    let first_classes =
+      List.sort_uniq compare (List.filter_map (function c :: _ -> Some c | [] -> None) p.Topology.decompositions)
+    in
+    let checked = Hashtbl.create 64 in
+    try
+      List.iter
+        (fun first_class ->
+          Array.iter
+            (fun a ->
+              iter_class_partners ctx first_class ~a ~f:(fun b ->
+                  if not (Hashtbl.mem checked (a, b)) then begin
+                    Hashtbl.add checked (a, b) ();
+                    if Context.satisfies ctx aligned.eb b then begin
+                      let row =
+                        Compute.pair_topologies ctx.Context.dg ctx.Context.schema ctx.Context.registry
+                          ~t1 ~t2 ~a ~b ~l:ctx.Context.l ~caps:ctx.Context.caps
+                      in
+                      if List.mem tid row.Compute.tids then raise (Found_pair (a, b))
+                    end
+                  end))
+            a_ids)
+        first_classes;
+      false
+    with Found_pair _ -> true
+  in
+  List.filter check (List.sort compare !observed)
+
+(* ------------------------------------------------------------------ *)
+(* Top-k machinery                                                     *)
+
+let optimizer_spec ctx aligned ~fact ~scheme ~k =
+  ignore ctx;
+  {
+    Optimizer.group_table = aligned.store.Store.topinfo;
+    group_key = "TID";
+    score_col = Ranking.score_column scheme;
+    group_pred = None;
+    fact_table = fact;
+    fact_group_col = "TID";
+    dims =
+      [
+        {
+          Optimizer.dim_table = aligned.ea.Query.entity;
+          dim_alias = "A";
+          dim_key = "ID";
+          fact_col = "E1";
+          dim_pred = aligned.ea.Query.pred;
+        };
+        {
+          Optimizer.dim_table = aligned.eb.Query.entity;
+          dim_alias = "B";
+          dim_key = "ID";
+          fact_col = "E2";
+          dim_pred = aligned.eb.Query.pred;
+        };
+      ];
+    k;
+  }
+
+let sort_desc results =
+  List.sort
+    (fun (ta, sa) (tb, sb) ->
+      let c = Float.compare sb sa in
+      if c <> 0 then c else Int.compare ta tb)
+    results
+
+(* Merge the stream of found topologies (descending score) with checks of
+   pruned topologies, keeping global descending-score order, stopping at
+   k results. *)
+let merge_with_pruned ctx aligned ~scheme ~k ~next_witness =
+  let pruned =
+    List.map
+      (fun (p : Topology.t) ->
+        (p, Store.score_of aligned.store ctx.Context.catalog scheme p.Topology.tid))
+      aligned.store.Store.pruned
+    |> List.sort (fun (_, sa) (_, sb) -> Float.compare sb sa)
+  in
+  let results = ref [] in
+  let count = ref 0 in
+  let add tid score =
+    results := (tid, score) :: !results;
+    incr count
+  in
+  let rec loop pending pruned_left =
+    if !count >= k then ()
+    else begin
+      let pending = match pending with Some _ -> pending | None -> next_witness () in
+      match (pending, pruned_left) with
+      | None, [] -> ()
+      | Some (tid, score), ((p : Topology.t), pscore) :: rest when pscore > score ->
+          if pruned_check ctx aligned p then add p.Topology.tid pscore;
+          loop (Some (tid, score)) rest
+      | Some (tid, score), _ ->
+          add tid score;
+          loop None pruned_left
+      | None, (p, pscore) :: rest ->
+          if pruned_check ctx aligned p then add p.Topology.tid pscore;
+          loop None rest
+    end
+  in
+  loop None pruned;
+  sort_desc (List.rev !results)
+
+(* Pull-based driver over a DGJ stack: yields one (tid, score) per group
+   that produces a witness, in group (score) order. *)
+let et_witness_stream ctx aligned ~fact ~scheme ~impls =
+  let spec = optimizer_spec ctx aligned ~fact ~scheme ~k:max_int in
+  let plan = Optimizer.et_plan ctx.Context.catalog spec ~impls ~dim_order:[ 0; 1 ] in
+  let it = Physical.lower ctx.Context.catalog plan in
+  it.Iterator.open_ ();
+  let topinfo_schema = Table.schema (Catalog.find ctx.Context.catalog aligned.store.Store.topinfo) in
+  let tid_pos = Schema.index_of topinfo_schema "TID" in
+  let score_pos = Schema.index_of topinfo_schema (Ranking.score_column scheme) in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else
+      match it.Iterator.next () with
+      | None ->
+          finished := true;
+          it.Iterator.close ();
+          None
+      | Some tuple ->
+          (* One witness per group suffices; skip the rest. *)
+          it.Iterator.advance_group ();
+          Some (Value.as_int tuple.(tid_pos), Value.as_float tuple.(score_pos))
+
+let default_impls = [ `I; `I; `I ]
+
+let full_top_k_et ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next = et_witness_stream ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls in
+  let results = ref [] in
+  let rec take n = if n > 0 then (match next () with None -> () | Some r -> results := r :: !results; take (n - 1)) in
+  take k;
+  sort_desc (List.rev !results)
+
+let fast_top_k_et ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next = et_witness_stream ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls in
+  merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next
+
+let regular_topk ctx aligned ~fact ~scheme ~k =
+  let spec = optimizer_spec ctx aligned ~fact ~scheme ~k in
+  let plan, _cost = Optimizer.regular_plan ctx.Context.catalog spec in
+  Physical.run ctx.Context.catalog plan
+  |> List.map (fun tuple -> (Value.as_int tuple.(0), Value.as_float tuple.(1)))
+
+let full_top_k ctx aligned ~scheme ~k = regular_topk ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
+
+let fast_top_k ctx aligned ~scheme ~k =
+  (* SQL4: top-k over LeftTops first; SQL5 checks for pruned topologies
+     whose score could enter the result. *)
+  let base = regular_topk ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  let kth_score =
+    if List.length base >= k then List.fold_left (fun acc (_, s) -> Float.min acc s) infinity base
+    else neg_infinity
+  in
+  let candidates =
+    List.filter_map
+      (fun (p : Topology.t) ->
+        let s = Store.score_of aligned.store ctx.Context.catalog scheme p.Topology.tid in
+        if s > kth_score then Some (p, s) else None)
+      aligned.store.Store.pruned
+  in
+  let extra =
+    List.filter_map
+      (fun (p, s) -> if pruned_check ctx aligned p then Some (p.Topology.tid, s) else None)
+      candidates
+  in
+  let merged = sort_desc (base @ extra) in
+  List.filteri (fun i _ -> i < k) merged
+
+let full_top_k_opt ctx aligned ~scheme ~k =
+  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
+  let decision = Optimizer.choose ctx.Context.catalog spec in
+  match decision.Optimizer.strategy with
+  | Optimizer.Regular -> (full_top_k ctx aligned ~scheme ~k, Optimizer.Regular)
+  | Optimizer.Early_termination ->
+      (full_top_k_et ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+
+let fast_top_k_opt ctx aligned ~scheme ~k =
+  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  let decision = Optimizer.choose ctx.Context.catalog spec in
+  match decision.Optimizer.strategy with
+  | Optimizer.Regular -> (fast_top_k ctx aligned ~scheme ~k, Optimizer.Regular)
+  | Optimizer.Early_termination ->
+      (fast_top_k_et ctx aligned ~scheme ~k (), Optimizer.Early_termination)

@@ -1,0 +1,76 @@
+(** The nine query-evaluation methods of the experimental study
+    (Section 6.1): SQL, Full-Top, Fast-Top, Full-Top-k, Fast-Top-k,
+    Full-Top-k-ET, Fast-Top-k-ET, Full-Top-k-Opt and Fast-Top-k-Opt.
+
+    All methods answer the same question — the (top-k) l-topology result of
+    a 2-query — against the same context; they differ in which derived
+    tables they touch and how much work they can skip:
+
+    - Full-* methods read the complete AllTops table (Section 3.2).
+    - Fast-* methods read the pruned LeftTops table and re-derive pruned
+      topologies from base data with ExcpTops anti-checks (Section 4.3).
+    - *-k methods stop at the k best topologies under a ranking scheme
+      (Section 5.1).
+    - *-ET methods evaluate through DGJ-operator plans with early
+      termination (Section 5.3).
+    - *-Opt methods pick between the -k and -ET plans with the Section 5.4
+      cost model. *)
+
+type aligned = {
+  store : Store.t;
+  ea : Query.endpoint;  (** the endpoint on the store's E1 side *)
+  eb : Query.endpoint;  (** the E2 side *)
+}
+
+(** [align ctx query] resolves the query's entity pair to its store,
+    swapping endpoints if the query was phrased in the opposite
+    orientation.  @raise Not_found when the pair was not precomputed. *)
+val align : Context.t -> Query.t -> aligned
+
+(** {1 Non-top-k methods} — all return ascending TIDs. *)
+
+(** [sql_method ctx aligned] issues one existence probe per observed
+    topology (the paper restricts the SQL method to topologies with at
+    least one occurrence, "close to 200"); each probe recomputes pair
+    topologies from scratch, which is the method's documented
+    inefficiency. *)
+val sql_method : Context.t -> aligned -> int list
+
+(** [full_top ctx aligned] evaluates the single AllTops join of
+    Section 3.2. *)
+val full_top : Context.t -> aligned -> int list
+
+(** [fast_top ctx aligned] evaluates the LeftTops join plus one base-data
+    check per pruned topology with the ExcpTops anti-join (SQL1 of
+    Section 4.3). *)
+val fast_top : Context.t -> aligned -> int list
+
+(** {1 Top-k methods} — return at most [k] (tid, score) pairs, score
+    descending. *)
+
+val full_top_k : Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
+
+val fast_top_k : Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
+
+(** [impls] optionally pins the DGJ implementations (head = fact level) so
+    benchmarks can time the paper's "best and worst plans"; default is all
+    IDGJ. *)
+val full_top_k_et :
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
+
+val fast_top_k_et :
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
+
+(** The cost-based choices; also return which strategy the optimizer
+    picked. *)
+val full_top_k_opt :
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
+
+val fast_top_k_opt :
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
+
+(** [pruned_check ctx aligned topology] decides whether some qualifying
+    pair satisfies the pruned topology's path condition and survives the
+    ExcpTops anti-check — the bottom sub-query of SQL1/SQL5.  Exposed for
+    tests. *)
+val pruned_check : Context.t -> aligned -> Topology.t -> bool

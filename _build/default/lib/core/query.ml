@@ -1,0 +1,47 @@
+open Topo_sql
+
+type endpoint = { entity : string; pred : Expr.t option; label : string }
+
+type t = { e1 : endpoint; e2 : endpoint }
+
+let endpoint _catalog entity = { entity; pred = None; label = "true" }
+
+let col_pos catalog entity col = Schema.index_of (Table.schema (Catalog.find catalog entity)) col
+
+let keyword catalog entity ~col ~kw =
+  {
+    entity;
+    pred = Some (Expr.Contains (Expr.Col (col_pos catalog entity col), kw));
+    label = Printf.sprintf "%s.ct('%s')" col kw;
+  }
+
+let equals catalog entity ~col ~value =
+  {
+    entity;
+    pred = Some (Expr.Cmp (Expr.Eq, Expr.Col (col_pos catalog entity col), Expr.Const value));
+    label = Printf.sprintf "%s=%s" col (Value.to_string value);
+  }
+
+let conj a b =
+  if a.entity <> b.entity then invalid_arg "Query.conj: different entities";
+  let pred =
+    match (a.pred, b.pred) with
+    | None, p | p, None -> p
+    | Some pa, Some pb -> Some (Expr.conj pa pb)
+  in
+  let label =
+    match (a.label, b.label) with
+    | "true", l | l, "true" -> l
+    | la, lb -> la ^ " and " ^ lb
+  in
+  { entity = a.entity; pred; label }
+
+let make e1 e2 = { e1; e2 }
+
+let q1 catalog =
+  make
+    (keyword catalog "Protein" ~col:"desc" ~kw:"enzyme")
+    (equals catalog "DNA" ~col:"type" ~value:(Value.Str "mRNA"))
+
+let to_string q =
+  Printf.sprintf "{(%s, %s), (%s, %s)}" q.e1.entity q.e1.label q.e2.entity q.e2.label

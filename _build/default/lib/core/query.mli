@@ -1,0 +1,39 @@
+(** Topology queries (Section 2.2).
+
+    A 2-query names two entity sets with a constraint on each:
+    [{ (Protein, desc.ct('enzyme')), (DNA, type='mRNA') }].  Constraints
+    are resolved predicates over the entity table's base schema; helpers
+    build the two forms the paper uses (keyword containment and attribute
+    equality) by column name. *)
+
+type endpoint = {
+  entity : string;  (** entity table name *)
+  pred : Topo_sql.Expr.t option;  (** resolved against the entity's base schema *)
+  label : string;  (** human-readable constraint, for display *)
+}
+
+type t = { e1 : endpoint; e2 : endpoint }
+
+(** [endpoint catalog entity] is the unconstrained endpoint. *)
+val endpoint : Topo_sql.Catalog.t -> string -> endpoint
+
+(** [keyword catalog entity ~col ~kw] is [entity.col.ct('kw')].
+    @raise Not_found for an unknown column. *)
+val keyword : Topo_sql.Catalog.t -> string -> col:string -> kw:string -> endpoint
+
+(** [equals catalog entity ~col ~value] is [entity.col = value]. *)
+val equals : Topo_sql.Catalog.t -> string -> col:string -> value:Topo_sql.Value.t -> endpoint
+
+(** [conj a b] conjoins two endpoint constraints on the same entity.
+    @raise Invalid_argument when entities differ. *)
+val conj : endpoint -> endpoint -> endpoint
+
+(** [make e1 e2]. *)
+val make : endpoint -> endpoint -> t
+
+(** [q1 catalog] is the running example: Q = {(Protein, desc.ct('enzyme')),
+    (DNA, type='mRNA')}. *)
+val q1 : Topo_sql.Catalog.t -> t
+
+(** [to_string q]. *)
+val to_string : t -> string

@@ -1,0 +1,71 @@
+module Lgraph = Topo_graph.Lgraph
+
+type scheme = Freq | Rare | Domain
+
+let all = [ Freq; Domain; Rare ]
+
+let name = function Freq -> "Freq" | Rare -> "Rare" | Domain -> "Domain"
+
+let of_name = function
+  | "Freq" | "freq" -> Freq
+  | "Rare" | "rare" -> Rare
+  | "Domain" | "domain" -> Domain
+  | s -> invalid_arg ("Ranking.of_name: " ^ s)
+
+let score_column = function
+  | Freq -> "score_freq"
+  | Rare -> "score_rare"
+  | Domain -> "score_domain"
+
+(* The Figure 16 pattern: two distinct proteins encoded by the same DNA
+   that also share an interaction — the one structure the paper's expert
+   singles out as biologically significant. *)
+let has_coregulated_interacting_pair interner g =
+  let name l = Topo_util.Interner.name interner l in
+  let proteins = List.filter (fun id -> name (Lgraph.node_label g id) = "n:Protein") (Lgraph.nodes g) in
+  let shares p1 p2 ~edge ~node_ty =
+    List.exists
+      (fun (el, other) ->
+        name el = edge
+        && name (Lgraph.node_label g other) = node_ty
+        && List.exists (fun (el2, o2) -> name el2 = edge && o2 = other) (Lgraph.neighbors g p2))
+      (Lgraph.neighbors g p1)
+  in
+  List.exists
+    (fun p1 ->
+      List.exists
+        (fun p2 ->
+          p1 < p2
+          && shares p1 p2 ~edge:"e:encodes" ~node_ty:"n:DNA"
+          && shares p1 p2 ~edge:"e:interacts_p" ~node_ty:"n:Interaction")
+        proteins)
+    proteins
+
+let domain_score interner (t : Topology.t) =
+  let g = t.Topology.graph in
+  let label_name l = Topo_util.Interner.name interner l in
+  let edge_labels = List.map (fun e -> label_name e.Lgraph.label) (Lgraph.edges g) in
+  let count p = List.length (List.filter p edge_labels) in
+  let interactions = count (fun l -> l = "e:interacts_p" || l = "e:interacts_d") in
+  let encodes = count (fun l -> l = "e:encodes") in
+  let n_classes = List.length t.Topology.decomposition in
+  let has_cycle = t.Topology.n_edges >= t.Topology.n_nodes in
+  let weak_classes = List.filter Weak.is_weak_class_key t.Topology.decomposition in
+  let base = 1.0 in
+  let s =
+    base
+    +. (3.0 *. float_of_int interactions)
+    +. (2.0 *. float_of_int (max 0 (n_classes - 1)))
+    +. (if has_cycle then 4.0 else 0.0)
+    +. (if interactions > 0 && encodes > 0 then 1.5 else 0.0)
+    +. (if has_coregulated_interacting_pair interner g then 10.0 else 0.0)
+    -. (5.0 *. float_of_int (List.length weak_classes))
+  in
+  (* Keep scores strictly positive; weak-only shapes bottom out near 0. *)
+  Float.max 0.01 s
+
+let score scheme interner t ~freq =
+  match scheme with
+  | Freq -> float_of_int (max 1 freq)
+  | Rare -> 1.0 /. float_of_int (max 1 freq)
+  | Domain -> domain_score interner t

@@ -1,0 +1,32 @@
+(** Topology ranking schemes (Section 6.1).
+
+    Three schemes, as in the experiments: [Freq] scores common topologies
+    high, [Rare] scores rare topologies high, and [Domain] stands in for
+    the paper's domain expert with a deterministic biological-significance
+    heuristic (DESIGN.md, substitutions): it rewards interaction edges, the
+    interplay of multiple path classes, and cycles (the Figure 16 motif:
+    two proteins encoded by one DNA, interacting), and penalizes weak
+    relationships (Appendix B). *)
+
+type scheme = Freq | Rare | Domain
+
+(** [all] = [Freq; Domain; Rare] — the column order of Table 2. *)
+val all : scheme list
+
+(** [name scheme]. *)
+val name : scheme -> string
+
+(** [of_name s].  @raise Invalid_argument on unknown names. *)
+val of_name : string -> scheme
+
+(** [score_column scheme] is the TopInfo column the scheme reads
+    (["score_freq"] / ["score_rare"] / ["score_domain"]). *)
+val score_column : scheme -> string
+
+(** [score scheme interner topology ~freq] computes the scheme's score;
+    every score is strictly positive so descending order is total. *)
+val score : scheme -> Topo_util.Interner.t -> Topology.t -> freq:int -> float
+
+(** [domain_score interner topology] is the Domain heuristic by itself
+    (exposed for the Figure 16 experiment). *)
+val domain_score : Topo_util.Interner.t -> Topology.t -> float

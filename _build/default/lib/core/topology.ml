@@ -1,0 +1,112 @@
+module Lgraph = Topo_graph.Lgraph
+module Canon = Topo_graph.Canon
+
+type t = {
+  tid : int;
+  key : string;
+  graph : Lgraph.t;
+  n_nodes : int;
+  n_edges : int;
+  decomposition : string list;
+  mutable decompositions : string list list;
+}
+
+type registry = { by_key : (string, t) Hashtbl.t; by_tid : t Topo_util.Dyn.t }
+
+let create_registry () = { by_key = Hashtbl.create 256; by_tid = Topo_util.Dyn.create () }
+
+let register reg graph ~decomposition =
+  let key = Canon.key graph in
+  let decomposition = List.sort_uniq compare decomposition in
+  match Hashtbl.find_opt reg.by_key key with
+  | Some t ->
+      if not (List.mem decomposition t.decompositions) then
+        t.decompositions <- t.decompositions @ [ decomposition ];
+      t
+  | None ->
+      let t =
+        {
+          tid = Topo_util.Dyn.length reg.by_tid + 1;
+          key;
+          graph = Lgraph.copy graph;
+          n_nodes = Lgraph.node_count graph;
+          n_edges = Lgraph.edge_count graph;
+          decomposition;
+          decompositions = [ decomposition ];
+        }
+      in
+      Hashtbl.add reg.by_key key t;
+      Topo_util.Dyn.push reg.by_tid t;
+      t
+
+let find reg tid =
+  if tid < 1 || tid > Topo_util.Dyn.length reg.by_tid then raise Not_found;
+  Topo_util.Dyn.get reg.by_tid (tid - 1)
+
+let find_by_key reg key = Hashtbl.find_opt reg.by_key key
+
+let count reg = Topo_util.Dyn.length reg.by_tid
+
+let all reg = Topo_util.Dyn.to_list reg.by_tid
+
+let is_single_path t =
+  let g = t.graph in
+  let nodes = Lgraph.nodes g in
+  let degree_ok = List.for_all (fun id -> Lgraph.degree g id <= 2) nodes in
+  let endpoints = List.filter (fun id -> Lgraph.degree g id = 1) nodes in
+  degree_ok
+  && List.length endpoints = 2
+  && Lgraph.edge_count g = Lgraph.node_count g - 1
+  && Lgraph.connected g
+
+let strip_prefix s =
+  (* labels are interned as "n:Type" / "e:rel" *)
+  match String.index_opt s ':' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let describe interner t =
+  let g = t.graph in
+  let name label = strip_prefix (Topo_util.Interner.name interner label) in
+  if is_single_path t then begin
+    (* Walk from one degree-1 endpoint, choosing the direction whose label
+       reading is smaller so the description is deterministic. *)
+    let ends = List.filter (fun id -> Lgraph.degree g id = 1) (Lgraph.nodes g) in
+    let walk start =
+      let buf = Buffer.create 64 in
+      let rec go prev current =
+        Buffer.add_string buf (name (Lgraph.node_label g current));
+        match List.filter (fun (_, other) -> Some other <> prev) (Lgraph.neighbors g current) with
+        | [] -> ()
+        | (el, next) :: _ ->
+            Buffer.add_string buf (Printf.sprintf " -%s- " (name el));
+            go (Some current) next
+      in
+      go None start;
+      Buffer.contents buf
+    in
+    match ends with
+    | [ a; b ] ->
+        let wa = walk a and wb = walk b in
+        if wa <= wb then wa else wb
+    | _ -> assert false
+  end
+  else begin
+    (* Complex shape: canonical node numbering + edge list. *)
+    let order = Canon.canonical_order g in
+    let position = Hashtbl.create 8 in
+    List.iteri (fun i id -> Hashtbl.add position id i) order;
+    let node_strs =
+      List.mapi (fun i id -> Printf.sprintf "%d:%s" i (name (Lgraph.node_label g id))) order
+    in
+    let edge_strs =
+      List.map
+        (fun { Lgraph.u; v; label } ->
+          let pu = Hashtbl.find position u and pv = Hashtbl.find position v in
+          let lo = min pu pv and hi = max pu pv in
+          Printf.sprintf "%d-%s-%d" lo (name label) hi)
+        (Lgraph.edges g)
+      |> List.sort compare
+    in
+    Printf.sprintf "{%s | %s}" (String.concat ", " node_strs) (String.concat ", " edge_strs)
+  end

@@ -1,0 +1,1 @@
+lib/graph/canon.ml: Array Buffer Hashtbl Lgraph List Printf

@@ -1,0 +1,1 @@
+lib/graph/canon.mli: Lgraph

@@ -1,0 +1,1 @@
+lib/graph/data_graph.ml: Array Hashtbl Lgraph List Printf Schema_graph Topo_util

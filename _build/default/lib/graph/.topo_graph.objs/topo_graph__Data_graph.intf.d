@@ -1,0 +1,1 @@
+lib/graph/data_graph.mli: Lgraph Schema_graph Topo_util

@@ -1,0 +1,1 @@
+lib/graph/glue.ml: Array Canon Fun Hashtbl Int Lgraph List Printf Schema_graph Topo_util

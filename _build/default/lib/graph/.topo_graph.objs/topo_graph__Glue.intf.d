@@ -1,0 +1,1 @@
+lib/graph/glue.mli: Lgraph Schema_graph Topo_util

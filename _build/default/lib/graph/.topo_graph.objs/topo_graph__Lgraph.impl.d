@@ -1,0 +1,1 @@
+lib/graph/lgraph.ml: Array Hashtbl List Printf String

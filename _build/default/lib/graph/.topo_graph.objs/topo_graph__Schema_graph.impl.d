@@ -1,0 +1,1 @@
+lib/graph/schema_graph.ml: Array Buffer Hashtbl Int Lgraph List Printf Topo_util

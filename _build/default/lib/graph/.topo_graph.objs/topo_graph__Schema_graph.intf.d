@@ -1,0 +1,1 @@
+lib/graph/schema_graph.mli: Lgraph Topo_util

@@ -1,0 +1,151 @@
+module Dyn = Topo_util.Dyn
+
+type t = {
+  pool : Topo_util.Interner.t;
+  node_type : (int, int) Hashtbl.t;  (* id -> interned "n:<ty>" *)
+  by_type : (string, int Dyn.t) Hashtbl.t;
+  adj : (int, (int * int) Dyn.t) Hashtbl.t;  (* id -> (interned "e:<rel>", other) *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;
+}
+
+let create pool =
+  {
+    pool;
+    node_type = Hashtbl.create 4096;
+    by_type = Hashtbl.create 16;
+    adj = Hashtbl.create 4096;
+    edge_seen = Hashtbl.create 4096;
+  }
+
+let node_label_of t ty = Topo_util.Interner.intern t.pool ("n:" ^ ty)
+
+let edge_label_of t rel = Topo_util.Interner.intern t.pool ("e:" ^ rel)
+
+let add_entity t ~ty ~id =
+  let label = node_label_of t ty in
+  match Hashtbl.find_opt t.node_type id with
+  | Some existing ->
+      if existing <> label then
+        invalid_arg (Printf.sprintf "Data_graph.add_entity: id %d already has another type" id)
+  | None ->
+      Hashtbl.add t.node_type id label;
+      let bucket =
+        match Hashtbl.find_opt t.by_type ty with
+        | Some b -> b
+        | None ->
+            let b = Dyn.create () in
+            Hashtbl.add t.by_type ty b;
+            b
+      in
+      Dyn.push bucket id;
+      Hashtbl.add t.adj id (Dyn.create ())
+
+let add_relationship t ~rel ~a ~b =
+  if not (Hashtbl.mem t.node_type a) then
+    invalid_arg (Printf.sprintf "Data_graph.add_relationship: unknown entity %d" a);
+  if not (Hashtbl.mem t.node_type b) then
+    invalid_arg (Printf.sprintf "Data_graph.add_relationship: unknown entity %d" b);
+  let label = edge_label_of t rel in
+  let key = if a < b then (a, b, label) else (b, a, label) in
+  if not (Hashtbl.mem t.edge_seen key) then begin
+    Hashtbl.add t.edge_seen key ();
+    Dyn.push (Hashtbl.find t.adj a) (label, b);
+    Dyn.push (Hashtbl.find t.adj b) (label, a)
+  end
+
+let node_count t = Hashtbl.length t.node_type
+
+let edge_count t = Hashtbl.length t.edge_seen
+
+let entities_of_type t ty =
+  match Hashtbl.find_opt t.by_type ty with
+  | None -> [||]
+  | Some bucket ->
+      let arr = Dyn.to_array bucket in
+      Array.sort compare arr;
+      arr
+
+let node_type_label t id =
+  match Hashtbl.find_opt t.node_type id with
+  | Some l -> l
+  | None -> raise Not_found
+
+let interner t = t.pool
+
+let is_palindromic (p : Schema_graph.path) = p = Schema_graph.reverse p
+
+(* Walk the schema path from [source], position by position, keeping the
+   visited set for simplicity.  [target] optionally pins the final node. *)
+let iter_from t (p : Schema_graph.path) ~source ?target ~f () =
+  let l = Schema_graph.path_length p in
+  let type_labels = Array.map (fun ty -> node_label_of t ty) p.Schema_graph.types in
+  let rel_labels = Array.map (fun rel -> edge_label_of t rel) p.Schema_graph.rels in
+  match Hashtbl.find_opt t.node_type source with
+  | Some label when label = type_labels.(0) ->
+      let current = Array.make (l + 1) 0 in
+      current.(0) <- source;
+      let visited = Hashtbl.create 16 in
+      Hashtbl.add visited source ();
+      let rec step pos =
+        if pos = l then begin
+          match target with
+          | Some tgt when current.(l) <> tgt -> ()
+          | Some _ | None -> f (Array.copy current)
+        end
+        else begin
+          let want_rel = rel_labels.(pos) and want_ty = type_labels.(pos + 1) in
+          let nbrs = Hashtbl.find t.adj current.(pos) in
+          Dyn.iter
+            (fun (rel, other) ->
+              if
+                rel = want_rel
+                && (not (Hashtbl.mem visited other))
+                && Hashtbl.find t.node_type other = want_ty
+              then begin
+                Hashtbl.add visited other ();
+                current.(pos + 1) <- other;
+                step (pos + 1);
+                Hashtbl.remove visited other
+              end)
+            nbrs
+        end
+      in
+      step 0
+  | Some _ | None -> ()
+
+let iter_instance_paths t p ~f =
+  let palindromic = is_palindromic p in
+  let sources = entities_of_type t p.Schema_graph.types.(0) in
+  let l = Schema_graph.path_length p in
+  Array.iter
+    (fun source ->
+      iter_from t p ~source
+        ~f:(fun ids ->
+          (* A palindromic path is discovered from both endpoints; keep the
+             traversal from the smaller id. *)
+          if (not palindromic) || ids.(0) < ids.(l) then f ids)
+        ())
+    sources
+
+let iter_instance_paths_between t p ~a ~b ~f = iter_from t p ~source:a ~target:b ~f ()
+
+let iter_instance_paths_from t p ~source ~f = iter_from t p ~source ~f ()
+
+let path_subgraph t (p : Schema_graph.path) ~ids =
+  let g = Lgraph.empty () in
+  Array.iter (fun id -> Lgraph.add_node g ~id ~label:(Hashtbl.find t.node_type id)) ids;
+  Array.iteri
+    (fun i rel -> Lgraph.add_edge g ~u:ids.(i) ~v:ids.(i + 1) ~label:(edge_label_of t rel))
+    p.Schema_graph.rels;
+  g
+
+let neighbors_by t ~id ~rel ~ty =
+  match Hashtbl.find_opt t.adj id with
+  | None -> []
+  | Some nbrs ->
+      let want_rel = edge_label_of t rel and want_ty = node_label_of t ty in
+      Dyn.fold
+        (fun acc (r, other) ->
+          if r = want_rel && Hashtbl.find t.node_type other = want_ty then other :: acc else acc)
+        [] nbrs
+      |> List.sort compare

@@ -1,0 +1,65 @@
+(** The instance graph: the database's entities and relationships as one
+    labeled graph (Section 2.1, Figure 6), with schema-path-directed
+    enumeration of simple instance paths.
+
+    Node ids are the entities' globally unique object ids ("the IDs of
+    different biological objects are not overlapping", Section 4.3).  Type
+    labels are interned as ["n:<entity>"] and edge labels as ["e:<rel>"],
+    the same convention {!Schema_graph.path_to_lgraph} uses, so instance
+    subgraphs and schema-level graphs canonicalize into the same key
+    space. *)
+
+type t
+
+(** [create interner] is an empty instance graph using the shared intern
+    pool. *)
+val create : Topo_util.Interner.t -> t
+
+(** [add_entity t ~ty ~id] registers entity [id] of entity type [ty].
+    @raise Invalid_argument if [id] is already present with another type. *)
+val add_entity : t -> ty:string -> id:int -> unit
+
+(** [add_relationship t ~rel ~a ~b] links two registered entities.
+    Duplicate (a, b, rel) triples collapse. *)
+val add_relationship : t -> rel:string -> a:int -> b:int -> unit
+
+(** [node_count t] / [edge_count t]. *)
+val node_count : t -> int
+
+val edge_count : t -> int
+
+(** [entities_of_type t ty] is the ascending id array of a type (empty for
+    unknown types). *)
+val entities_of_type : t -> string -> int array
+
+(** [node_type_label t id] is the interned ["n:<ty>"] label.
+    @raise Not_found for unregistered ids. *)
+val node_type_label : t -> int -> int
+
+(** [interner t]. *)
+val interner : t -> Topo_util.Interner.t
+
+(** [iter_instance_paths t path ~f] calls [f] with the node-id array of
+    every simple instance path realizing the schema [path] (oriented as
+    given), each instance exactly once: for a palindromic label sequence
+    the traversal from the higher-id endpoint is suppressed.  [f] may raise
+    to stop early. *)
+val iter_instance_paths : t -> Schema_graph.path -> f:(int array -> unit) -> unit
+
+(** [iter_instance_paths_between t path ~a ~b ~f] like
+    {!iter_instance_paths} but anchored: only paths starting at [a] and
+    ending at [b] (in the path's orientation). *)
+val iter_instance_paths_between : t -> Schema_graph.path -> a:int -> b:int -> f:(int array -> unit) -> unit
+
+(** [iter_instance_paths_from t path ~source ~f] anchored at the start
+    only: every instance path of [path] beginning at [source]. *)
+val iter_instance_paths_from : t -> Schema_graph.path -> source:int -> f:(int array -> unit) -> unit
+
+(** [path_subgraph t path ~ids] is the instance path as a labeled graph
+    (node labels looked up from the registry, edge labels from the schema
+    path). *)
+val path_subgraph : t -> Schema_graph.path -> ids:int array -> Lgraph.t
+
+(** [neighbors_by t ~id ~rel ~ty] is the neighbor ids of [id] along edges
+    labeled [rel] whose endpoint has type [ty]; ascending. *)
+val neighbors_by : t -> id:int -> rel:string -> ty:string -> int list

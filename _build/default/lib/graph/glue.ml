@@ -1,0 +1,128 @@
+type result = {
+  count : int;
+  topologies : (Lgraph.t * string) list;
+  gluings_examined : int;
+  truncated : bool;
+}
+
+type slot = { slot_id : int; path : int; ty : string }
+
+exception Budget_exhausted
+
+let enumerate interner schema ~from_ ~to_ ~max_len ?(collect = true) ?(max_gluings = 10_000_000) () =
+  let paths = Array.of_list (Schema_graph.paths schema ~from_ ~to_ ~max_len) in
+  let npaths = Array.length paths in
+  if npaths > 20 then
+    invalid_arg
+      (Printf.sprintf "Glue.enumerate: %d schema paths; subset enumeration infeasible" npaths);
+  let node_label ty = Topo_util.Interner.intern interner ("n:" ^ ty) in
+  let edge_label rel = Topo_util.Interner.intern interner ("e:" ^ rel) in
+  let seen : (string, Lgraph.t) Hashtbl.t = Hashtbl.create 1024 in
+  let examined = ref 0 in
+  let truncated = ref false in
+  (* Endpoint node ids 0 and 1; slots get ids from 2. *)
+  let try_subset mask =
+    let members = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init npaths Fun.id) in
+    (* Intermediate slots of every member path. *)
+    let slots = ref [] in
+    let next_slot = ref 2 in
+    let slot_of = Hashtbl.create 16 in
+    (* (path, position) -> slot id *)
+    List.iter
+      (fun pi ->
+        let p = paths.(pi) in
+        let l = Schema_graph.path_length p in
+        for pos = 1 to l - 1 do
+          let id = !next_slot in
+          incr next_slot;
+          Hashtbl.add slot_of (pi, pos) id;
+          slots := { slot_id = id; path = pi; ty = p.Schema_graph.types.(pos) } :: !slots
+        done)
+      members;
+    let slots = Array.of_list (List.rev !slots) in
+    (* Enumerate partitions: assign each slot to an existing block (same
+       type, no same-path member) or a fresh block. *)
+    let blocks : slot list array = Array.make (Array.length slots) [] in
+    let nblocks = ref 0 in
+    let emit () =
+      incr examined;
+      if !examined > max_gluings then begin
+        truncated := true;
+        raise Budget_exhausted
+      end;
+      (* Build the glued graph. *)
+      let g = Lgraph.empty () in
+      Lgraph.add_node g ~id:0 ~label:(node_label from_);
+      Lgraph.add_node g ~id:1 ~label:(node_label to_);
+      let block_node = Hashtbl.create 16 in
+      (* slot id -> representative node id *)
+      for b = 0 to !nblocks - 1 do
+        match blocks.(b) with
+        | [] -> ()
+        | first :: _ as all ->
+            Lgraph.add_node g ~id:first.slot_id ~label:(node_label first.ty);
+            List.iter (fun s -> Hashtbl.replace block_node s.slot_id first.slot_id) all
+      done;
+      let resolve pi pos p_len =
+        if pos = 0 then 0
+        else if pos = p_len then 1
+        else Hashtbl.find block_node (Hashtbl.find slot_of (pi, pos))
+      in
+      List.iter
+        (fun pi ->
+          let p = paths.(pi) in
+          let l = Schema_graph.path_length p in
+          for e = 0 to l - 1 do
+            let u = resolve pi e l and v = resolve pi (e + 1) l in
+            (* A slot glued onto an endpoint cannot occur (endpoints are not
+               slots), but two merged neighbors can make u = v only if two
+               consecutive positions merged, which same-path merging forbids. *)
+            Lgraph.add_edge g ~u ~v ~label:(edge_label p.Schema_graph.rels.(e))
+          done)
+        members;
+      let key = Canon.key g in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key g
+    in
+    let rec assign i =
+      if i >= Array.length slots then emit ()
+      else begin
+        let s = slots.(i) in
+        for b = 0 to !nblocks - 1 do
+          let block = blocks.(b) in
+          match block with
+          | [] -> ()
+          | first :: _ ->
+              if first.ty = s.ty && not (List.exists (fun m -> m.path = s.path) block) then begin
+                blocks.(b) <- s :: block;
+                assign (i + 1);
+                blocks.(b) <- block
+              end
+        done;
+        (* Fresh block. *)
+        let b = !nblocks in
+        blocks.(b) <- [ s ];
+        incr nblocks;
+        assign (i + 1);
+        decr nblocks;
+        blocks.(b) <- []
+      end
+    in
+    assign 0
+  in
+  (try
+     for mask = 1 to (1 lsl npaths) - 1 do
+       try_subset mask
+     done
+   with Budget_exhausted -> ());
+  let topologies =
+    if not collect then []
+    else
+      Hashtbl.fold (fun key g acc -> (g, key) :: acc) seen []
+      |> List.sort (fun (a, ka) (b, kb) ->
+             let c = Int.compare (Lgraph.node_count a) (Lgraph.node_count b) in
+             if c <> 0 then c
+             else
+               let c = Int.compare (Lgraph.edge_count a) (Lgraph.edge_count b) in
+               if c <> 0 then c else compare ka kb)
+  in
+  { count = Hashtbl.length seen; topologies; gluings_examined = !examined; truncated = !truncated }

@@ -1,0 +1,105 @@
+type edge = { u : int; v : int; label : int }
+
+type t = {
+  labels : (int, int) Hashtbl.t;  (* node id -> type label *)
+  adj : (int, (int * int) list ref) Hashtbl.t;  (* node id -> (edge label, other) *)
+  edge_set : (int * int * int, unit) Hashtbl.t;  (* (min, max, label) *)
+}
+
+let empty () = { labels = Hashtbl.create 16; adj = Hashtbl.create 16; edge_set = Hashtbl.create 16 }
+
+let add_node g ~id ~label =
+  match Hashtbl.find_opt g.labels id with
+  | Some existing ->
+      if existing <> label then
+        invalid_arg (Printf.sprintf "Lgraph.add_node: node %d re-added with different label" id)
+  | None ->
+      Hashtbl.add g.labels id label;
+      Hashtbl.add g.adj id (ref [])
+
+let mem_node g id = Hashtbl.mem g.labels id
+
+let node_label g id =
+  match Hashtbl.find_opt g.labels id with
+  | Some l -> l
+  | None -> raise Not_found
+
+let edge_key u v label = if u < v then (u, v, label) else (v, u, label)
+
+let mem_edge g ~u ~v ~label = Hashtbl.mem g.edge_set (edge_key u v label)
+
+let add_edge g ~u ~v ~label =
+  if u = v then invalid_arg "Lgraph.add_edge: self-loop";
+  if not (mem_node g u) then invalid_arg (Printf.sprintf "Lgraph.add_edge: missing node %d" u);
+  if not (mem_node g v) then invalid_arg (Printf.sprintf "Lgraph.add_edge: missing node %d" v);
+  let key = edge_key u v label in
+  if not (Hashtbl.mem g.edge_set key) then begin
+    Hashtbl.add g.edge_set key ();
+    let au = Hashtbl.find g.adj u and av = Hashtbl.find g.adj v in
+    au := (label, v) :: !au;
+    av := (label, u) :: !av
+  end
+
+let nodes g = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) g.labels [])
+
+let node_count g = Hashtbl.length g.labels
+
+let edges g =
+  Hashtbl.fold (fun (u, v, label) () acc -> { u; v; label } :: acc) g.edge_set []
+  |> List.sort compare
+
+let edge_count g = Hashtbl.length g.edge_set
+
+let neighbors g id =
+  match Hashtbl.find_opt g.adj id with
+  | Some l -> List.sort compare !l
+  | None -> []
+
+let degree g id = match Hashtbl.find_opt g.adj id with Some l -> List.length !l | None -> 0
+
+let copy g =
+  let out = empty () in
+  Hashtbl.iter (fun id label -> add_node out ~id ~label) g.labels;
+  Hashtbl.iter (fun (u, v, label) () -> add_edge out ~u ~v ~label) g.edge_set;
+  out
+
+let union a b =
+  let out = copy a in
+  Hashtbl.iter (fun id label -> add_node out ~id ~label) b.labels;
+  Hashtbl.iter (fun (u, v, label) () -> add_edge out ~u ~v ~label) b.edge_set;
+  out
+
+let of_path ~nodes ~edge_labels =
+  let n = Array.length nodes in
+  if Array.length edge_labels <> n - 1 then invalid_arg "Lgraph.of_path: length mismatch";
+  let g = empty () in
+  Array.iter
+    (fun (id, label) ->
+      if mem_node g id then invalid_arg "Lgraph.of_path: repeated node id";
+      add_node g ~id ~label)
+    nodes;
+  Array.iteri (fun i label -> add_edge g ~u:(fst nodes.(i)) ~v:(fst nodes.(i + 1)) ~label) edge_labels;
+  g
+
+let connected g =
+  match nodes g with
+  | [] -> false
+  | start :: _ ->
+      let seen = Hashtbl.create 16 in
+      let rec dfs id =
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          List.iter (fun (_, other) -> dfs other) (neighbors g id)
+        end
+      in
+      dfs start;
+      Hashtbl.length seen = node_count g
+
+let to_string ?(node_name = string_of_int) ?(edge_name = string_of_int) g =
+  let ns =
+    List.map (fun id -> Printf.sprintf "%d:%s" id (node_name (node_label g id))) (nodes g)
+  in
+  let es =
+    List.map (fun { u; v; label } -> Printf.sprintf "%d-%s-%d" u (edge_name label) v) (edges g)
+  in
+  Printf.sprintf "nodes[%s] edges[%s]" (String.concat " " ns) (String.concat " " es)

@@ -1,0 +1,76 @@
+(** Labeled undirected graphs.
+
+    Nodes carry an integer id (an object id at the instance level, a slot id
+    at the schema level) and an integer type label (interned entity-type
+    name); edges carry an integer type label (interned relationship-type
+    name).  The graph is simple per (u, v, label): adding the same labeled
+    edge twice is a no-op, which implements the path-union semantics of
+    Definition 2 (two paths sharing an edge union into one edge).
+
+    This is the common representation for instance subgraphs (unions of
+    result paths) and topologies (their canonical forms). *)
+
+type t
+
+type edge = { u : int; v : int; label : int }
+
+(** [empty ()] is the graph with no nodes. *)
+val empty : unit -> t
+
+(** [add_node g ~id ~label] inserts a node; re-adding with the same label is
+    a no-op.  @raise Invalid_argument if [id] exists with another label. *)
+val add_node : t -> id:int -> label:int -> unit
+
+(** [add_edge g ~u ~v ~label] inserts an undirected edge; both endpoints
+    must exist.  Self-loops are rejected (paths are simple).
+    @raise Invalid_argument on a missing endpoint or [u = v]. *)
+val add_edge : t -> u:int -> v:int -> label:int -> unit
+
+(** [mem_node g id]. *)
+val mem_node : t -> int -> bool
+
+(** [node_label g id].  @raise Not_found if absent. *)
+val node_label : t -> int -> int
+
+(** [mem_edge g ~u ~v ~label]. *)
+val mem_edge : t -> u:int -> v:int -> label:int -> bool
+
+(** [nodes g] is the node ids, ascending. *)
+val nodes : t -> int list
+
+(** [node_count g]. *)
+val node_count : t -> int
+
+(** [edges g] is every edge once, with [u < v], sorted. *)
+val edges : t -> edge list
+
+(** [edge_count g]. *)
+val edge_count : t -> int
+
+(** [neighbors g id] is the [(edge_label, other_endpoint)] list of [id],
+    sorted. *)
+val neighbors : t -> int -> (int * int) list
+
+(** [degree g id]. *)
+val degree : t -> int -> int
+
+(** [union a b] is a fresh graph over the shared node-id space: node and
+    edge sets are unioned.  @raise Invalid_argument when a node id carries
+    different labels in [a] and [b]. *)
+val union : t -> t -> t
+
+(** [copy g]. *)
+val copy : t -> t
+
+(** [of_path ~nodes ~edge_labels] builds the graph of a simple path: node
+    [i] connects to node [i+1] with [edge_labels.(i)].  [nodes] pairs ids
+    with labels.  @raise Invalid_argument on length mismatch or a repeated
+    node id. *)
+val of_path : nodes:(int * int) array -> edge_labels:int array -> t
+
+(** [connected g] is true when the graph is connected (and nonempty). *)
+val connected : t -> bool
+
+(** [to_string ?node_name ?edge_name g] renders nodes and edges for debug
+    output, mapping interned labels through the given printers. *)
+val to_string : ?node_name:(int -> string) -> ?edge_name:(int -> string) -> t -> string

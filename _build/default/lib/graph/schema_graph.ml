@@ -1,0 +1,102 @@
+type t = {
+  mutable entity_order : string list;  (* reverse declaration order *)
+  entity_set : (string, unit) Hashtbl.t;
+  mutable rels : (string * string * string) list;  (* reverse order *)
+  adj : (string, (string * string) list ref) Hashtbl.t;  (* entity -> (rel, other) *)
+}
+
+type path = { types : string array; rels : string array }
+
+let create () =
+  { entity_order = []; entity_set = Hashtbl.create 16; rels = []; adj = Hashtbl.create 16 }
+
+let add_entity t name =
+  if not (Hashtbl.mem t.entity_set name) then begin
+    Hashtbl.add t.entity_set name ();
+    t.entity_order <- name :: t.entity_order;
+    Hashtbl.add t.adj name (ref [])
+  end
+
+let add_relationship (t : t) ~name ~from_ ~to_ =
+  add_entity t from_;
+  add_entity t to_;
+  if List.exists (fun (n, f, g) -> n = name && ((f = from_ && g = to_) || (f = to_ && g = from_))) t.rels
+  then invalid_arg (Printf.sprintf "Schema_graph.add_relationship: duplicate %s(%s,%s)" name from_ to_);
+  t.rels <- (name, from_, to_) :: t.rels;
+  let a = Hashtbl.find t.adj from_ and b = Hashtbl.find t.adj to_ in
+  a := (name, to_) :: !a;
+  if from_ <> to_ then b := (name, from_) :: !b
+
+let entities t = List.rev t.entity_order
+
+let relationships (t : t) = List.rev t.rels
+
+let path_length p = Array.length p.rels
+
+let signature p =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i ty ->
+      Buffer.add_string buf ty;
+      if i < Array.length p.rels then begin
+        Buffer.add_char buf '~';
+        Buffer.add_string buf p.rels.(i);
+        Buffer.add_char buf '~'
+      end)
+    p.types;
+  Buffer.contents buf
+
+let reverse p =
+  let n = Array.length p.types in
+  let m = Array.length p.rels in
+  {
+    types = Array.init n (fun i -> p.types.(n - 1 - i));
+    rels = Array.init m (fun i -> p.rels.(m - 1 - i));
+  }
+
+let path_key p =
+  let a = signature p and b = signature (reverse p) in
+  if a <= b then a else b
+
+let path_to_string p =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i ty ->
+      Buffer.add_string buf ty;
+      if i < Array.length p.rels then Buffer.add_string buf (Printf.sprintf " -%s- " p.rels.(i)))
+    p.types;
+  Buffer.contents buf
+
+let paths t ~from_ ~to_ ~max_len =
+  if not (Hashtbl.mem t.entity_set from_) then
+    invalid_arg ("Schema_graph.paths: unknown entity " ^ from_);
+  if not (Hashtbl.mem t.entity_set to_) then invalid_arg ("Schema_graph.paths: unknown entity " ^ to_);
+  let results = Hashtbl.create 64 in
+  (* key -> path, oriented from [from_] *)
+  let rec walk current types rels depth =
+    if depth > 0 && current = to_ then begin
+      let p = { types = Array.of_list (List.rev types); rels = Array.of_list (List.rev rels) } in
+      let key = path_key p in
+      if not (Hashtbl.mem results key) then Hashtbl.add results key p
+    end;
+    if depth < max_len then
+      List.iter
+        (fun (rel, other) -> walk other (other :: types) (rel :: rels) (depth + 1))
+        !(Hashtbl.find t.adj current)
+  in
+  walk from_ [ from_ ] [] 0;
+  let all = Hashtbl.fold (fun _ p acc -> p :: acc) results [] in
+  List.sort
+    (fun a b ->
+      let c = Int.compare (path_length a) (path_length b) in
+      if c <> 0 then c else compare (signature a) (signature b))
+    all
+
+let path_to_lgraph interner p ~ids =
+  if Array.length ids <> Array.length p.types then
+    invalid_arg "Schema_graph.path_to_lgraph: ids length mismatch";
+  let node_label ty = Topo_util.Interner.intern interner ("n:" ^ ty) in
+  let edge_label rel = Topo_util.Interner.intern interner ("e:" ^ rel) in
+  let nodes = Array.mapi (fun i id -> (id, node_label p.types.(i))) ids in
+  let edge_labels = Array.map edge_label p.rels in
+  Lgraph.of_path ~nodes ~edge_labels

@@ -1,0 +1,61 @@
+(** The database schema as a graph, and schema-path enumeration.
+
+    Entity sets are nodes, relationship sets are edges (Figure 1).  A
+    {e schema path} between two entity types is a walk in this graph —
+    walks, not simple paths, because an instance path may revisit a type
+    (Protein-DNA-Protein) while never revisiting an instance node.
+
+    A schema path's identity is its label sequence normalized against its
+    reversal; that normalized sequence is exactly the path equivalence class
+    of Definition 1 restricted to paths (proved equivalent to general
+    isomorphism in the test suite). *)
+
+type t
+
+(** A schema path: alternating entity types and relationship types,
+    [types.(0) -- rels.(0) -- types.(1) ... rels.(l-1) -- types.(l)]. *)
+type path = { types : string array; rels : string array }
+
+(** [create ()] is an empty schema. *)
+val create : unit -> t
+
+(** [add_entity t name] declares an entity set (idempotent). *)
+val add_entity : t -> string -> unit
+
+(** [add_relationship t ~name ~from_ ~to_] declares a relationship set
+    between two entity sets (declared on first use).  Relationship names
+    must be unique per (name, endpoints) but one name may connect different
+    endpoint pairs (Biozon's two "interaction" tables are distinct
+    relationship sets here). *)
+val add_relationship : t -> name:string -> from_:string -> to_:string -> unit
+
+(** [entities t] in declaration order. *)
+val entities : t -> string list
+
+(** [relationships t] as [(name, from, to)] in declaration order. *)
+val relationships : t -> (string * string * string) list
+
+(** [paths t ~from_ ~to_ ~max_len] enumerates every schema path (walk) from
+    [from_] to [to_] of length 1..[max_len], deduplicated against reversals
+    (each undirected path class appears once, oriented with
+    [types.(0) = from_] where possible).  Sorted by (length, labels).
+    @raise Invalid_argument on unknown entity names. *)
+val paths : t -> from_:string -> to_:string -> max_len:int -> path list
+
+(** [path_length p]. *)
+val path_length : path -> int
+
+(** [path_key p] is the reversal-normalized label-sequence key identifying
+    the path's equivalence class. *)
+val path_key : path -> string
+
+(** [path_to_string p] like ["Protein -uni_encodes- Unigene -uni_contains- DNA"]. *)
+val path_to_string : path -> string
+
+(** [reverse p]. *)
+val reverse : path -> path
+
+(** [path_to_lgraph interner p ~ids] builds the labeled graph of a path
+    instantiated on the given node ids (one per position); labels are
+    interned through [interner] as ["n:<type>"] / ["e:<rel>"]. *)
+val path_to_lgraph : Topo_util.Interner.t -> path -> ids:int array -> Lgraph.t

@@ -1,0 +1,1 @@
+lib/relational/dgj_cost.ml: Array Float

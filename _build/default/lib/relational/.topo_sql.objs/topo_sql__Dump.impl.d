@@ -1,0 +1,1 @@
+lib/relational/dump.ml: Array Buffer Catalog Filename Fun List Printf Schema String Sys Table Unix Value

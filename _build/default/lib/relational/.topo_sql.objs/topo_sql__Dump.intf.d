@@ -1,0 +1,1 @@
+lib/relational/dump.mli: Catalog Table

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Int List Printf Set String Value

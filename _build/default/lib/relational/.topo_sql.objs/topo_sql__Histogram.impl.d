@@ -1,0 +1,1 @@
+lib/relational/histogram.ml: Array Float Int List Topo_util Value

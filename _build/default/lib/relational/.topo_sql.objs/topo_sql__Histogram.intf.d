@@ -1,0 +1,1 @@
+lib/relational/histogram.mli: Value

@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Float Hashtbl Int Topo_util Tuple Value

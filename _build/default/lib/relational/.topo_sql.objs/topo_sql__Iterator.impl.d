@@ -1,0 +1,1 @@
+lib/relational/iterator.ml: Array Fun List Schema Tuple

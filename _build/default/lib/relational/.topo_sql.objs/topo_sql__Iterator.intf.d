@@ -1,0 +1,1 @@
+lib/relational/iterator.mli: Schema Tuple

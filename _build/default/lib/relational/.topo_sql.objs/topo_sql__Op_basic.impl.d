@@ -1,0 +1,1 @@
+lib/relational/op_basic.ml: Array Expr Hashtbl Int Iterator Option Schema Topo_util Tuple Value

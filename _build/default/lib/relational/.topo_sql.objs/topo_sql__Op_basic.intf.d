@@ -1,0 +1,1 @@
+lib/relational/op_basic.mli: Expr Iterator Schema Tuple

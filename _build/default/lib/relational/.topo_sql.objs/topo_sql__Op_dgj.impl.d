@@ -1,0 +1,1 @@
+lib/relational/op_dgj.ml: Array Expr Fun Hashtbl Index Iterator List Option Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/op_dgj.mli: Expr Iterator Table Tuple

@@ -1,0 +1,1 @@
+lib/relational/op_join.ml: Array Expr Hashtbl Index Iterator List Op_basic Schema Table Topo_util Tuple Value

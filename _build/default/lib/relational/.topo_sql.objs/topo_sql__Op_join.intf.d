@@ -1,0 +1,1 @@
+lib/relational/op_join.mli: Expr Iterator Table

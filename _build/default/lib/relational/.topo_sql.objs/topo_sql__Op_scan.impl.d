@@ -1,0 +1,1 @@
+lib/relational/op_scan.ml: Array Expr Index Iterator Table

@@ -1,0 +1,1 @@
+lib/relational/op_scan.mli: Expr Iterator Table Value

@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Array Catalog Dgj_cost Expr Float Fun Hashtbl Index List Op_dgj Physical Schema Table Table_stats Topo_util Tuple Value

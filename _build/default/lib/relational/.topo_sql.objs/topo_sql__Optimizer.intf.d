@@ -1,0 +1,1 @@
+lib/relational/optimizer.mli: Catalog Expr Physical Value

@@ -1,0 +1,1 @@
+lib/relational/physical.ml: Array Buffer Catalog Expr Iterator List Op_basic Op_dgj Op_join Op_scan Printf Schema String Table Value

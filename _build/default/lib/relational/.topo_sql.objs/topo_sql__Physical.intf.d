@@ -1,0 +1,1 @@
+lib/relational/physical.mli: Catalog Expr Iterator Schema Tuple Value

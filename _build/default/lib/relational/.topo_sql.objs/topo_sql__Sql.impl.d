@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Array List Physical Schema Sql_binder Sql_parser Topo_util Value

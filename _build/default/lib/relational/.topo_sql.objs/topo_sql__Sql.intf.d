@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Catalog Physical Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/sql_binder.ml: Array Catalog Expr Fun Hashtbl Int List Option Physical Printf Schema Set Sql_ast String Table Value

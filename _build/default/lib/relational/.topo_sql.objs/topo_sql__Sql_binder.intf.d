@@ -1,0 +1,1 @@
+lib/relational/sql_binder.mli: Catalog Physical Sql_ast

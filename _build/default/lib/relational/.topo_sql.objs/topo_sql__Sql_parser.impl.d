@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Array Expr List Printf Sql_ast Sql_lexer String

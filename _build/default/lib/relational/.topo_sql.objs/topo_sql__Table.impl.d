@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Hashtbl Index List Option Printf Schema Topo_util Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table_stats.ml: Array Expr Float Histogram List Printf Schema Table Topo_util Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table_stats.mli: Expr Histogram Schema Table

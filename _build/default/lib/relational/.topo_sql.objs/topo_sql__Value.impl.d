@@ -1,0 +1,1 @@
+lib/relational/value.ml: Float Hashtbl Int Printf String

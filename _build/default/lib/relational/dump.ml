@@ -1,0 +1,130 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 't' -> Buffer.add_char buf '\t'
+       | 'n' -> Buffer.add_char buf '\n'
+       | '\\' -> Buffer.add_char buf '\\'
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let value_to_field = function
+  | Value.Null -> "\\N"
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%h" f
+  | Value.Str s -> escape s
+
+let field_to_value ty field =
+  if field = "\\N" then Value.Null
+  else
+    match ty with
+    | Schema.TInt -> Value.Int (int_of_string field)
+    | Schema.TFloat -> Value.Float (float_of_string field)
+    | Schema.TStr -> Value.Str (unescape field)
+
+let ty_of_string = function
+  | "int" -> Schema.TInt
+  | "float" -> Schema.TFloat
+  | "str" -> Schema.TStr
+  | s -> failwith ("Dump: unknown column type " ^ s)
+
+let save_table table ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let schema = Table.schema table in
+      Printf.fprintf oc "table %s\n" (Table.name table);
+      let cols =
+        Array.to_list (Schema.columns schema)
+        |> List.map (fun (c : Schema.column) -> c.Schema.name ^ ":" ^ Schema.ty_to_string c.Schema.ty)
+      in
+      Printf.fprintf oc "schema %s\n" (String.concat "," cols);
+      Printf.fprintf oc "pk %s\n" (match Table.primary_key table with Some c -> c | None -> "-");
+      Table.iter
+        (fun _ tuple ->
+          let fields = Array.to_list (Array.map value_to_field tuple) in
+          output_string oc (String.concat "\t" fields);
+          output_char oc '\n')
+        table)
+
+let split_line line = String.split_on_char '\t' line
+
+let load_table ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header prefix =
+        let line = input_line ic in
+        if String.length line < String.length prefix || String.sub line 0 (String.length prefix) <> prefix
+        then failwith (Printf.sprintf "Dump.load_table(%s): expected '%s' line" path prefix)
+        else String.sub line (String.length prefix) (String.length line - String.length prefix)
+      in
+      let name = header "table " in
+      let schema_line = header "schema " in
+      let pk_line = header "pk " in
+      let columns =
+        String.split_on_char ',' schema_line
+        |> List.map (fun part ->
+               match String.index_opt part ':' with
+               | Some i ->
+                   {
+                     Schema.name = String.sub part 0 i;
+                     ty = ty_of_string (String.sub part (i + 1) (String.length part - i - 1));
+                   }
+               | None -> failwith ("Dump.load_table: bad column spec " ^ part))
+      in
+      let schema = Schema.make columns in
+      let primary_key = if pk_line = "-" then None else Some pk_line in
+      let table = Table.create ~name ~schema ?primary_key () in
+      let tys = Array.map (fun (c : Schema.column) -> c.Schema.ty) (Schema.columns schema) in
+      (try
+         (* Every written row is exactly one line (newlines are escaped),
+            so read them all; an empty line is a legitimate single-column
+            empty string. *)
+         while true do
+           let line = input_line ic in
+           let fields = Array.of_list (split_line line) in
+           if Array.length fields <> Array.length tys then
+             failwith (Printf.sprintf "Dump.load_table(%s): arity mismatch" path);
+           Table.insert table (Array.map2 field_to_value tys fields)
+         done
+       with End_of_file -> ());
+      table)
+
+let save catalog ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun table -> save_table table ~path:(Filename.concat dir (Table.name table ^ ".tbl")))
+    (Catalog.tables catalog)
+
+let load ~dir =
+  let catalog = Catalog.create () in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.iter (fun file ->
+         if Filename.check_suffix file ".tbl" then
+           Catalog.add catalog (load_table ~path:(Filename.concat dir file)));
+  catalog

@@ -1,0 +1,137 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Contains of t * string
+  | IsNull of t
+
+let bool_value b = if b then Value.Int 1 else Value.Int 0
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let keyword_matches ~keyword ~text =
+  let keyword = String.lowercase_ascii keyword in
+  let text = String.lowercase_ascii text in
+  let klen = String.length keyword and tlen = String.length text in
+  if klen = 0 then true
+  else
+    let rec scan from =
+      if from + klen > tlen then false
+      else
+        match String.index_from_opt text from keyword.[0] with
+        | None -> false
+        | Some i ->
+            if i + klen > tlen then false
+            else if
+              String.sub text i klen = keyword
+              && (i = 0 || not (is_word_char text.[i - 1]))
+              && (i + klen = tlen || not (is_word_char text.[i + klen]))
+            then true
+            else scan (i + 1)
+    in
+    scan 0
+
+let apply_cmp op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else
+    let c = Value.compare a b in
+    bool_value
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+let rec eval expr tuple =
+  match expr with
+  | Col i -> tuple.(i)
+  | Const v -> v
+  | Cmp (op, a, b) -> apply_cmp op (eval a tuple) (eval b tuple)
+  | And es ->
+      let rec loop saw_null = function
+        | [] -> if saw_null then Value.Null else bool_value true
+        | e :: rest -> (
+            match eval e tuple with
+            | Value.Null -> loop true rest
+            | v -> if Value.equal v (bool_value false) then bool_value false else loop saw_null rest)
+      in
+      loop false es
+  | Or es ->
+      let rec loop saw_null = function
+        | [] -> if saw_null then Value.Null else bool_value false
+        | e :: rest -> (
+            match eval e tuple with
+            | Value.Null -> loop true rest
+            | v -> if Value.equal v (bool_value false) then loop saw_null rest else bool_value true)
+      in
+      loop false es
+  | Not e -> (
+      match eval e tuple with
+      | Value.Null -> Value.Null
+      | v -> bool_value (Value.equal v (bool_value false)))
+  | Contains (e, keyword) -> (
+      match eval e tuple with
+      | Value.Null -> Value.Null
+      | Value.Str s -> bool_value (keyword_matches ~keyword ~text:s)
+      | Value.Int _ | Value.Float _ -> bool_value false)
+  | IsNull e -> bool_value (Value.is_null (eval e tuple))
+
+let truthy expr tuple =
+  match eval expr tuple with
+  | Value.Null -> false
+  | v -> not (Value.equal v (Value.Int 0))
+
+let always_true = function
+  | And [] -> true
+  | Const (Value.Int n) -> n <> 0
+  | Col _ | Const _ | Cmp _ | And _ | Or _ | Not _ | Contains _ | IsNull _ -> false
+
+let conj a b =
+  match (a, b) with
+  | x, y when always_true x -> y
+  | x, y when always_true y -> x
+  | And xs, And ys -> And (xs @ ys)
+  | And xs, y -> And (xs @ [ y ])
+  | x, And ys -> And (x :: ys)
+  | x, y -> And [ x; y ]
+
+let rec shift_cols offset = function
+  | Col i -> Col (i + offset)
+  | Const v -> Const v
+  | Cmp (op, a, b) -> Cmp (op, shift_cols offset a, shift_cols offset b)
+  | And es -> And (List.map (shift_cols offset) es)
+  | Or es -> Or (List.map (shift_cols offset) es)
+  | Not e -> Not (shift_cols offset e)
+  | Contains (e, k) -> Contains (shift_cols offset e, k)
+  | IsNull e -> IsNull (shift_cols offset e)
+
+let columns expr =
+  let module IS = Set.Make (Int) in
+  let rec go acc = function
+    | Col i -> IS.add i acc
+    | Const _ -> acc
+    | Cmp (_, a, b) -> go (go acc a) b
+    | And es | Or es -> List.fold_left go acc es
+    | Not e | Contains (e, _) | IsNull e -> go acc e
+  in
+  IS.elements (go IS.empty expr)
+
+let cmp_to_string = function Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec to_string = function
+  | Col i -> "#" ^ string_of_int i
+  | Const v -> Value.to_string v
+  | Cmp (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) (cmp_to_string op) (to_string b)
+  | And es -> "(" ^ String.concat " AND " (List.map to_string es) ^ ")"
+  | Or es -> "(" ^ String.concat " OR " (List.map to_string es) ^ ")"
+  | Not e -> "NOT " ^ to_string e
+  | Contains (e, k) -> Printf.sprintf "%s.ct('%s')" (to_string e) k
+  | IsNull e -> to_string e ^ " IS NULL"

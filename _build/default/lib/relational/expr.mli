@@ -1,0 +1,51 @@
+(** Scalar expressions over tuples.
+
+    Expressions are already resolved: column references are positional.  The
+    SQL binder produces these from named ASTs; the topology engine builds
+    them directly.  [Contains] implements the paper's keyword-containment
+    predicate (written [desc.ct('enzyme')] in the paper's queries): true when
+    the given keyword occurs in the string value as a whole word,
+    case-insensitively. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of int  (** resolved column position *)
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Contains of t * string  (** keyword containment on a string column *)
+  | IsNull of t
+
+(** [eval expr tuple] evaluates to a value; comparisons yield [Int 1] /
+    [Int 0], and any comparison against [Null] yields [Null]. *)
+val eval : t -> Tuple.t -> Value.t
+
+(** [truthy expr tuple] is SQL-style: true only when [eval] yields a nonzero
+    non-null value. *)
+val truthy : t -> Tuple.t -> bool
+
+(** [always_true expr] is a syntactic check for the trivial predicate. *)
+val always_true : t -> bool
+
+(** [conj a b] conjoins, flattening [And] and dropping trivially-true
+    conjuncts. *)
+val conj : t -> t -> t
+
+(** [shift_cols offset expr] adds [offset] to every column reference; used
+    when an expression formulated against a join's right input must run
+    against the concatenated tuple. *)
+val shift_cols : int -> t -> t
+
+(** [columns expr] is the sorted list of distinct column positions
+    referenced. *)
+val columns : t -> int list
+
+(** [keyword_matches keyword text] is the primitive behind [Contains]:
+    whole-word, case-insensitive containment. *)
+val keyword_matches : keyword:string -> text:string -> bool
+
+(** [to_string expr] for plan display, with [Col i] shown as [#i]. *)
+val to_string : t -> string

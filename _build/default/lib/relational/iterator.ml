@@ -1,0 +1,83 @@
+type t = {
+  schema : Schema.t;
+  open_ : unit -> unit;
+  next : unit -> Tuple.t option;
+  close : unit -> unit;
+  advance_group : unit -> unit;
+  last_group : unit -> int;
+}
+
+module Counters = struct
+  let tuples_c = ref 0
+
+  let probes_c = ref 0
+
+  let scanned_c = ref 0
+
+  let reset () =
+    tuples_c := 0;
+    probes_c := 0;
+    scanned_c := 0
+
+  let tuples () = !tuples_c
+
+  let index_probes () = !probes_c
+
+  let rows_scanned () = !scanned_c
+
+  let add_tuples n = tuples_c := !tuples_c + n
+
+  let add_probes n = probes_c := !probes_c + n
+
+  let add_scanned n = scanned_c := !scanned_c + n
+end
+
+let ungrouped ~schema ~open_ ~next ~close =
+  {
+    schema;
+    open_;
+    next =
+      (fun () ->
+        match next () with
+        | Some tuple ->
+            Counters.add_tuples 1;
+            Some tuple
+        | None -> None);
+    close;
+    advance_group = (fun () -> ());
+    last_group = (fun () -> 0);
+  }
+
+let of_tuples schema tuples =
+  let pos = ref 0 in
+  ungrouped ~schema
+    ~open_:(fun () -> pos := 0)
+    ~next:(fun () ->
+      if !pos >= Array.length tuples then None
+      else begin
+        let tuple = tuples.(!pos) in
+        incr pos;
+        Some tuple
+      end)
+    ~close:(fun () -> ())
+
+let iter f it =
+  it.open_ ();
+  let rec loop () =
+    match it.next () with
+    | Some tuple ->
+        f tuple (it.last_group ());
+        loop ()
+    | None -> ()
+  in
+  Fun.protect ~finally:it.close loop
+
+let to_list it =
+  let acc = ref [] in
+  iter (fun tuple _ -> acc := tuple :: !acc) it;
+  List.rev !acc
+
+let count it =
+  let n = ref 0 in
+  iter (fun _ _ -> incr n) it;
+  !n

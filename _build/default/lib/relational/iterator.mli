@@ -1,0 +1,65 @@
+(** Volcano-style physical operators, extended for Distinct Group Joins.
+
+    Every operator implements the classic open/next/close protocol [17].
+    Section 5.3 of the paper adds two properties for DGJ operators: they
+    understand {e groups} of tuples (preserving group order from input to
+    output) and they can skip the rest of the current group
+    ([advanceToNextGroup]).  We bake both into the iterator signature:
+
+    - [last_group ()] is the group id of the most recently returned tuple.
+      Ungrouped operators report group [0] for every tuple; grouped sources
+      assign increasing ids.
+    - [advance_group ()] abandons any remaining tuples of the current group
+      so the next [next ()] starts the following group.  On ungrouped
+      operators it is a no-op.
+
+    Operators also bump the global {!Counters} so tests and benchmarks can
+    observe how much work early termination saves. *)
+
+type t = {
+  schema : Schema.t;
+  open_ : unit -> unit;
+  next : unit -> Tuple.t option;
+  close : unit -> unit;
+  advance_group : unit -> unit;
+  last_group : unit -> int;
+}
+
+(** Work counters, reset per query by the harness. *)
+module Counters : sig
+  val reset : unit -> unit
+
+  (** Tuples returned by any operator's [next]. *)
+  val tuples : unit -> int
+
+  (** Index probes performed. *)
+  val index_probes : unit -> int
+
+  (** Rows visited by sequential scans. *)
+  val rows_scanned : unit -> int
+
+  (**/**)
+
+  val add_tuples : int -> unit
+
+  val add_probes : int -> unit
+
+  val add_scanned : int -> unit
+end
+
+(** [of_tuples schema tuples] is an ungrouped iterator over an array;
+    convenient in tests. *)
+val of_tuples : Schema.t -> Tuple.t array -> t
+
+(** [to_list it] opens, drains and closes [it]. *)
+val to_list : t -> Tuple.t list
+
+(** [iter f it] opens, applies [f tuple group] to every tuple, closes. *)
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+
+(** [count it] drains and counts. *)
+val count : t -> int
+
+(** [ungrouped ~schema ~open_ ~next ~close] fills in no-op group methods. *)
+val ungrouped :
+  schema:Schema.t -> open_:(unit -> unit) -> next:(unit -> Tuple.t option) -> close:(unit -> unit) -> t

@@ -1,0 +1,238 @@
+let transparent (it : Iterator.t) ~schema ~next =
+  {
+    Iterator.schema;
+    open_ = it.Iterator.open_;
+    next;
+    close = it.Iterator.close;
+    advance_group = it.Iterator.advance_group;
+    last_group = it.Iterator.last_group;
+  }
+
+let filter pred (it : Iterator.t) =
+  let rec next () =
+    match it.Iterator.next () with
+    | None -> None
+    | Some tuple -> if Expr.truthy pred tuple then Some tuple else next ()
+  in
+  transparent it ~schema:it.Iterator.schema ~next
+
+let project (it : Iterator.t) ~cols =
+  let schema = Schema.project it.Iterator.schema cols in
+  let next () =
+    match it.Iterator.next () with
+    | None -> None
+    | Some tuple -> Some (Tuple.project tuple cols)
+  in
+  transparent it ~schema ~next
+
+let limit n (it : Iterator.t) =
+  let seen = ref 0 in
+  let it' =
+    transparent it ~schema:it.Iterator.schema ~next:(fun () ->
+        if !seen >= n then None
+        else
+          match it.Iterator.next () with
+          | None -> None
+          | Some tuple ->
+              incr seen;
+              Some tuple)
+  in
+  { it' with Iterator.open_ = (fun () -> seen := 0; it.Iterator.open_ ()) }
+
+let materialize (it : Iterator.t) =
+  let out = Topo_util.Dyn.create () in
+  Iterator.iter (fun tuple _ -> Topo_util.Dyn.push out tuple) it;
+  (it.Iterator.schema, Topo_util.Dyn.to_array out)
+
+let sort (it : Iterator.t) ~by =
+  let buffer = ref [||] in
+  let pos = ref 0 in
+  let compare_tuples a b =
+    let rec loop = function
+      | [] -> 0
+      | (col, desc) :: rest ->
+          let c = Value.compare a.(col) b.(col) in
+          if c <> 0 then if desc then -c else c else loop rest
+    in
+    loop by
+  in
+  Iterator.ungrouped ~schema:it.Iterator.schema
+    ~open_:(fun () ->
+      let _, tuples = materialize it in
+      (* Stable sort keeps input order among score ties, as the paper's
+         ORDER BY does in DB2. *)
+      let indexed = Array.mapi (fun i t -> (i, t)) tuples in
+      Array.sort
+        (fun (ia, a) (ib, b) ->
+          let c = compare_tuples a b in
+          if c <> 0 then c else Int.compare ia ib)
+        indexed;
+      buffer := Array.map snd indexed;
+      pos := 0)
+    ~next:(fun () ->
+      if !pos >= Array.length !buffer then None
+      else begin
+        let tuple = !buffer.(!pos) in
+        incr pos;
+        Some tuple
+      end)
+    ~close:it.Iterator.close
+
+module TupleTbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
+let distinct (it : Iterator.t) =
+  let seen = TupleTbl.create 256 in
+  let rec next () =
+    match it.Iterator.next () with
+    | None -> None
+    | Some tuple ->
+        if TupleTbl.mem seen tuple then next ()
+        else begin
+          TupleTbl.add seen tuple ();
+          Some tuple
+        end
+  in
+  Iterator.ungrouped ~schema:it.Iterator.schema
+    ~open_:(fun () ->
+      TupleTbl.reset seen;
+      it.Iterator.open_ ())
+    ~next ~close:it.Iterator.close
+
+let union (a : Iterator.t) (b : Iterator.t) =
+  if Schema.arity a.Iterator.schema <> Schema.arity b.Iterator.schema then
+    invalid_arg "Op_basic.union: arity mismatch";
+  let seen = TupleTbl.create 256 in
+  let on_a = ref true in
+  let rec next () =
+    let src = if !on_a then a else b in
+    match src.Iterator.next () with
+    | Some tuple ->
+        if TupleTbl.mem seen tuple then next ()
+        else begin
+          TupleTbl.add seen tuple ();
+          Some tuple
+        end
+    | None ->
+        if !on_a then begin
+          on_a := false;
+          next ()
+        end
+        else None
+  in
+  Iterator.ungrouped ~schema:a.Iterator.schema
+    ~open_:(fun () ->
+      TupleTbl.reset seen;
+      on_a := true;
+      a.Iterator.open_ ();
+      b.Iterator.open_ ())
+    ~next
+    ~close:(fun () ->
+      a.Iterator.close ();
+      b.Iterator.close ())
+
+let compute (it : Iterator.t) ~schema ~exprs =
+  let exprs = Array.of_list exprs in
+  let next () =
+    match it.Iterator.next () with
+    | None -> None
+    | Some tuple -> Some (Array.map (fun e -> Expr.eval e tuple) exprs)
+  in
+  transparent it ~schema ~next
+
+type agg_op = ACount_star | ACount | ASum | AMin | AMax | AAvg
+
+type acc = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_is_int : bool;
+  mutable minv : Value.t;
+  mutable maxv : Value.t;
+  mutable non_null : int;
+}
+
+let fresh_acc () =
+  { count = 0; sum = 0.0; sum_is_int = true; minv = Value.Null; maxv = Value.Null; non_null = 0 }
+
+let acc_add acc value =
+  acc.count <- acc.count + 1;
+  match value with
+  | None -> ()
+  | Some v ->
+      if not (Value.is_null v) then begin
+        acc.non_null <- acc.non_null + 1;
+        (match v with
+        | Value.Int n -> acc.sum <- acc.sum +. float_of_int n
+        | Value.Float f ->
+            acc.sum <- acc.sum +. f;
+            acc.sum_is_int <- false
+        | Value.Str _ | Value.Null -> ());
+        if Value.is_null acc.minv || Value.compare v acc.minv < 0 then acc.minv <- v;
+        if Value.is_null acc.maxv || Value.compare v acc.maxv > 0 then acc.maxv <- v
+      end
+
+let acc_result op acc =
+  match op with
+  | ACount_star -> Value.Int acc.count
+  | ACount -> Value.Int acc.non_null
+  | ASum ->
+      if acc.non_null = 0 then Value.Null
+      else if acc.sum_is_int then Value.Int (int_of_float acc.sum)
+      else Value.Float acc.sum
+  | AMin -> acc.minv
+  | AMax -> acc.maxv
+  | AAvg -> if acc.non_null = 0 then Value.Null else Value.Float (acc.sum /. float_of_int acc.non_null)
+
+let hash_aggregate (it : Iterator.t) ~schema ~keys ~aggs =
+  let keys = Array.of_list keys in
+  let aggs = Array.of_list aggs in
+  let buffer = ref [||] in
+  let pos = ref 0 in
+  Iterator.ungrouped ~schema
+    ~open_:(fun () ->
+      let groups : (Value.t array, acc array) Hashtbl.t = Hashtbl.create 64 in
+      let order = Topo_util.Dyn.create () in
+      Iterator.iter
+        (fun tuple _ ->
+          let key = Array.map (fun e -> Expr.eval e tuple) keys in
+          let accs =
+            match Hashtbl.find_opt groups key with
+            | Some a -> a
+            | None ->
+                let a = Array.map (fun _ -> fresh_acc ()) aggs in
+                Hashtbl.add groups key a;
+                Topo_util.Dyn.push order key;
+                a
+          in
+          Array.iteri
+            (fun i (_, arg) -> acc_add accs.(i) (Option.map (fun e -> Expr.eval e tuple) arg))
+            aggs)
+        it;
+      (* SQL semantics: an ungrouped aggregate over no rows yields one row
+         of neutral values. *)
+      if Array.length keys = 0 && Hashtbl.length groups = 0 then begin
+        Hashtbl.add groups [||] (Array.map (fun _ -> fresh_acc ()) aggs);
+        Topo_util.Dyn.push order [||]
+      end;
+      let rows = Topo_util.Dyn.create () in
+      Topo_util.Dyn.iter
+        (fun key ->
+          let accs = Hashtbl.find groups key in
+          let agg_values = Array.mapi (fun i (op, _) -> acc_result op accs.(i)) aggs in
+          Topo_util.Dyn.push rows (Array.append key agg_values))
+        order;
+      buffer := Topo_util.Dyn.to_array rows;
+      pos := 0)
+    ~next:(fun () ->
+      if !pos >= Array.length !buffer then None
+      else begin
+        let row = !buffer.(!pos) in
+        incr pos;
+        Some row
+      end)
+    ~close:(fun () -> ())

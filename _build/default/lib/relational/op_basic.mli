@@ -1,0 +1,53 @@
+(** Tuple-at-a-time operators: filter, project, limit, sort, distinct,
+    union.
+
+    Filter and project preserve grouping (they forward [last_group] and
+    [advance_group]); sort, distinct and union are blocking or
+    order-destroying and therefore emit ungrouped output. *)
+
+(** [filter pred it] keeps satisfying tuples; group-transparent. *)
+val filter : Expr.t -> Iterator.t -> Iterator.t
+
+(** [project it ~cols] keeps the listed positions in order;
+    group-transparent. *)
+val project : Iterator.t -> cols:int list -> Iterator.t
+
+(** [limit n it] stops after [n] tuples; group-transparent. *)
+val limit : int -> Iterator.t -> Iterator.t
+
+(** [sort it ~by] materializes and sorts by the given (position,
+    descending?) keys; stable.  Output is ungrouped. *)
+val sort : Iterator.t -> by:(int * bool) list -> Iterator.t
+
+(** [distinct it] drops duplicate tuples (full width), keeping first
+    occurrences in order.  Ungrouped. *)
+val distinct : Iterator.t -> Iterator.t
+
+(** [union a b] is the set union (distinct) of two streams with identical
+    arity, [a]'s tuples first.  Ungrouped; schema taken from [a]. *)
+val union : Iterator.t -> Iterator.t -> Iterator.t
+
+(** [materialize it] drains into an array (with the schema). *)
+val materialize : Iterator.t -> Schema.t * Tuple.t array
+
+(** [compute it ~schema ~exprs] evaluates each expression against every
+    input tuple, producing tuples of the given [schema];
+    group-transparent. *)
+val compute : Iterator.t -> schema:Schema.t -> exprs:Expr.t list -> Iterator.t
+
+(** Aggregate operations for {!hash_aggregate}. *)
+type agg_op = ACount_star | ACount | ASum | AMin | AMax | AAvg
+
+(** [hash_aggregate it ~schema ~keys ~aggs] groups the input by the
+    evaluated [keys] and computes each aggregate per group; output tuples
+    are key values followed by aggregate values (schema supplied by the
+    caller).  With no keys, exactly one global group is emitted even for
+    empty input (SQL semantics: a global COUNT over nothing is 0).  [ACount]
+    skips NULL arguments; [ASum]/[AMin]/[AMax] ignore NULLs and yield NULL
+    for all-NULL groups; [AAvg] yields a float. *)
+val hash_aggregate :
+  Iterator.t ->
+  schema:Schema.t ->
+  keys:Expr.t list ->
+  aggs:(agg_op * Expr.t option) list ->
+  Iterator.t

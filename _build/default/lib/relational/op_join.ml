@@ -1,0 +1,224 @@
+module Key = struct
+  type t = Value.t array
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 19 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+let drain_into_hash (it : Iterator.t) cols =
+  let tbl = KeyTbl.create 1024 in
+  Iterator.iter
+    (fun tuple _ ->
+      let key = Tuple.key tuple cols in
+      match KeyTbl.find_opt tbl key with
+      | Some bucket -> Topo_util.Dyn.push bucket tuple
+      | None ->
+          let bucket = Topo_util.Dyn.create () in
+          Topo_util.Dyn.push bucket tuple;
+          KeyTbl.add tbl key bucket)
+    it;
+  tbl
+
+let hash_join ~left ~right ~left_cols ~right_cols ?residual () =
+  let schema = Schema.concat left.Iterator.schema right.Iterator.schema in
+  let table = ref (KeyTbl.create 0) in
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | tuple :: rest ->
+        pending := rest;
+        Some tuple
+    | [] -> (
+        match left.Iterator.next () with
+        | None -> None
+        | Some outer ->
+            let key = Tuple.key outer left_cols in
+            (match KeyTbl.find_opt !table key with
+            | None -> ()
+            | Some bucket ->
+                let matches =
+                  Topo_util.Dyn.fold
+                    (fun acc inner ->
+                      let joined = Tuple.concat outer inner in
+                      match residual with
+                      | Some p when not (Expr.truthy p joined) -> acc
+                      | Some _ | None -> joined :: acc)
+                    [] bucket
+                in
+                pending := List.rev matches);
+            next ())
+  in
+  Iterator.ungrouped ~schema
+    ~open_:(fun () ->
+      table := drain_into_hash right right_cols;
+      pending := [];
+      left.Iterator.open_ ())
+    ~next
+    ~close:(fun () -> left.Iterator.close ())
+
+let index_nl_join ~left ~table ~table_cols ~left_cols ?pred ?residual () =
+  let schema = Schema.concat left.Iterator.schema (Table.schema table) in
+  let pending = ref [] in
+  let idx = ref None in
+  let rec next () =
+    match !pending with
+    | tuple :: rest ->
+        pending := rest;
+        Some tuple
+    | [] -> (
+        match left.Iterator.next () with
+        | None -> None
+        | Some outer ->
+            let index =
+              match !idx with
+              | Some i -> i
+              | None ->
+                  let i = Table.ensure_index table ~kind:Index.Hash ~cols:table_cols in
+                  idx := Some i;
+                  i
+            in
+            Iterator.Counters.add_probes 1;
+            let key = Tuple.key outer left_cols in
+            let matches =
+              List.filter_map
+                (fun rowno ->
+                  let inner = Table.get table rowno in
+                  match pred with
+                  | Some p when not (Expr.truthy p inner) -> None
+                  | Some _ | None -> (
+                      let joined = Tuple.concat outer inner in
+                      match residual with
+                      | Some r when not (Expr.truthy r joined) -> None
+                      | Some _ | None -> Some joined))
+                (Index.probe index key)
+            in
+            pending := matches;
+            next ())
+  in
+  Iterator.ungrouped ~schema
+    ~open_:(fun () ->
+      pending := [];
+      left.Iterator.open_ ())
+    ~next
+    ~close:(fun () -> left.Iterator.close ())
+
+let nl_join ~left ~right ?residual () =
+  let schema = Schema.concat left.Iterator.schema right.Iterator.schema in
+  let inner = ref [||] in
+  let outer_tuple = ref None in
+  let inner_pos = ref 0 in
+  let rec next () =
+    match !outer_tuple with
+    | None -> (
+        match left.Iterator.next () with
+        | None -> None
+        | Some t ->
+            outer_tuple := Some t;
+            inner_pos := 0;
+            next ())
+    | Some outer ->
+        if !inner_pos >= Array.length !inner then begin
+          outer_tuple := None;
+          next ()
+        end
+        else begin
+          let joined = Tuple.concat outer !inner.(!inner_pos) in
+          incr inner_pos;
+          match residual with
+          | Some p when not (Expr.truthy p joined) -> next ()
+          | Some _ | None -> Some joined
+        end
+  in
+  Iterator.ungrouped ~schema
+    ~open_:(fun () ->
+      let _, tuples = Op_basic.materialize right in
+      inner := tuples;
+      outer_tuple := None;
+      left.Iterator.open_ ())
+    ~next
+    ~close:(fun () -> left.Iterator.close ())
+
+let membership_pass ~keep_matching ~left ~right ~left_cols ~right_cols () =
+  let keys = ref (KeyTbl.create 0) in
+  let rec next () =
+    match left.Iterator.next () with
+    | None -> None
+    | Some tuple ->
+        let key = Tuple.key tuple left_cols in
+        let found = KeyTbl.mem !keys key in
+        if found = keep_matching then Some tuple else next ()
+  in
+  Iterator.ungrouped ~schema:left.Iterator.schema
+    ~open_:(fun () ->
+      let tbl = KeyTbl.create 1024 in
+      Iterator.iter (fun tuple _ -> KeyTbl.replace tbl (Tuple.key tuple right_cols) ()) right;
+      keys := tbl;
+      left.Iterator.open_ ())
+    ~next
+    ~close:(fun () -> left.Iterator.close ())
+
+let anti_join ~left ~right ~left_cols ~right_cols () =
+  membership_pass ~keep_matching:false ~left ~right ~left_cols ~right_cols ()
+
+let semi_join ~left ~right ~left_cols ~right_cols () =
+  membership_pass ~keep_matching:true ~left ~right ~left_cols ~right_cols ()
+
+let merge_join ~left ~right ~left_cols ~right_cols ?residual () =
+  let schema = Schema.concat left.Iterator.schema right.Iterator.schema in
+  (* The right input is materialized (bounded by the inner relation size);
+     the left streams.  For each left tuple we binary-search the right
+     group and emit its matches. *)
+  let right_rows = ref [||] in
+  let pending = ref [] in
+  let right_lo = ref 0 in
+  let compare_keys (ltuple : Tuple.t) (rtuple : Tuple.t) =
+    let rec loop i =
+      if i >= Array.length left_cols then 0
+      else
+        let c = Value.compare ltuple.(left_cols.(i)) rtuple.(right_cols.(i)) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+  in
+  let rec next () =
+    match !pending with
+    | tuple :: rest ->
+        pending := rest;
+        Some tuple
+    | [] -> (
+        match left.Iterator.next () with
+        | None -> None
+        | Some outer ->
+            (* Advance the right frontier past smaller keys (both inputs
+               ascending). *)
+            let n = Array.length !right_rows in
+            while !right_lo < n && compare_keys outer !right_rows.(!right_lo) > 0 do
+              incr right_lo
+            done;
+            let matches = ref [] in
+            let i = ref !right_lo in
+            while !i < n && compare_keys outer !right_rows.(!i) = 0 do
+              let joined = Tuple.concat outer !right_rows.(!i) in
+              (match residual with
+              | Some p when not (Expr.truthy p joined) -> ()
+              | Some _ | None -> matches := joined :: !matches);
+              incr i
+            done;
+            pending := List.rev !matches;
+            next ())
+  in
+  Iterator.ungrouped ~schema
+    ~open_:(fun () ->
+      let _, rows = Op_basic.materialize right in
+      (* Defensive: sort the materialized inner on its key columns so the
+         operator works even when the input order is unknown. *)
+      Array.sort (fun a b -> Tuple.compare_at right_cols a b) rows;
+      right_rows := rows;
+      right_lo := 0;
+      pending := [];
+      left.Iterator.open_ ())
+    ~next
+    ~close:(fun () -> left.Iterator.close ())

@@ -1,0 +1,75 @@
+let filtered_next pred fetch =
+  match pred with
+  | None -> fetch
+  | Some p ->
+      let rec loop () =
+        match fetch () with
+        | None -> None
+        | Some tuple -> if Expr.truthy p tuple then Some tuple else loop ()
+      in
+      loop
+
+let seq ?pred table =
+  let pos = ref 0 in
+  let n_rows = ref 0 in
+  let fetch () =
+    if !pos >= !n_rows then None
+    else begin
+      let tuple = Table.get table !pos in
+      incr pos;
+      Iterator.Counters.add_scanned 1;
+      Some tuple
+    end
+  in
+  Iterator.ungrouped ~schema:(Table.schema table)
+    ~open_:(fun () ->
+      pos := 0;
+      n_rows := Table.row_count table)
+    ~next:(filtered_next pred fetch)
+    ~close:(fun () -> ())
+
+let rows_iterator ?pred table rownos =
+  let pos = ref 0 in
+  let fetch () =
+    if !pos >= Array.length rownos then None
+    else begin
+      let tuple = Table.get table rownos.(!pos) in
+      incr pos;
+      Some tuple
+    end
+  in
+  Iterator.ungrouped ~schema:(Table.schema table)
+    ~open_:(fun () -> pos := 0)
+    ~next:(filtered_next pred fetch)
+    ~close:(fun () -> ())
+
+let index_probe ?pred table ~cols ~key =
+  let idx = Table.ensure_index table ~kind:Index.Hash ~cols in
+  Iterator.Counters.add_probes 1;
+  let rownos = Array.of_list (Index.probe idx key) in
+  rows_iterator ?pred table rownos
+
+let ordered ?pred ?(desc = false) table ~cols =
+  let idx = Table.ensure_index table ~kind:Index.Sorted ~cols in
+  let rownos = Index.ordered_rows ~desc idx in
+  rows_iterator ?pred table rownos
+
+let grouped_by_tuple (it : Iterator.t) =
+  let group = ref (-1) in
+  {
+    Iterator.schema = it.Iterator.schema;
+    open_ =
+      (fun () ->
+        group := -1;
+        it.Iterator.open_ ());
+    next =
+      (fun () ->
+        match it.Iterator.next () with
+        | Some tuple ->
+            incr group;
+            Some tuple
+        | None -> None);
+    close = it.Iterator.close;
+    advance_group = (fun () -> ());
+    last_group = (fun () -> !group);
+  }

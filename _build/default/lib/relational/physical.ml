@@ -1,0 +1,252 @@
+type t =
+  | Scan of { table : string; alias : string option; pred : Expr.t option }
+  | OrderedScan of {
+      table : string;
+      alias : string option;
+      order_cols : string list;
+      desc : bool;
+      pred : Expr.t option;
+      grouped : bool;
+    }
+  | IndexProbe of { table : string; alias : string option; cols : string list; key : Value.t array; pred : Expr.t option }
+  | Filter of { input : t; pred : Expr.t }
+  | Project of { input : t; cols : int list }
+  | HashJoin of { left : t; right : t; left_cols : int array; right_cols : int array; residual : Expr.t option }
+  | MergeJoin of { left : t; right : t; left_cols : int array; right_cols : int array; residual : Expr.t option }
+  | NLJoin of { left : t; right : t; residual : Expr.t option }
+  | IndexNL of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Idgj of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Hdgj of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Sort of { input : t; by : (int * bool) list }
+  | Distinct of t
+  | Union of t * t
+  | AntiJoin of { left : t; right : t; left_cols : int array; right_cols : int array }
+  | SemiJoin of { left : t; right : t; left_cols : int array; right_cols : int array }
+  | Limit of int * t
+  | Compute of { input : t; items : (Expr.t * string * Schema.ty) list }
+  | Aggregate of {
+      input : t;
+      keys : (Expr.t * string * Schema.ty) list;
+      aggs : (agg_kind * Expr.t option * string * Schema.ty) list;
+    }
+
+and agg_kind = Count_star | Count | Sum | Min | Max | Avg
+
+let table_schema catalog name alias =
+  let s = Table.schema (Catalog.find catalog name) in
+  match alias with None -> s | Some a -> Schema.qualify a s
+
+let rec schema catalog = function
+  | Scan { table; alias; _ } | IndexProbe { table; alias; _ } -> table_schema catalog table alias
+  | OrderedScan { table; alias; _ } -> table_schema catalog table alias
+  | Filter { input; _ } -> schema catalog input
+  | Project { input; cols } -> Schema.project (schema catalog input) cols
+  | HashJoin { left; right; _ } | MergeJoin { left; right; _ } | NLJoin { left; right; _ } ->
+      Schema.concat (schema catalog left) (schema catalog right)
+  | IndexNL { left; table; alias; _ } | Idgj { left; table; alias; _ } | Hdgj { left; table; alias; _ } ->
+      Schema.concat (schema catalog left) (table_schema catalog table alias)
+  | Sort { input; _ } -> schema catalog input
+  | Distinct input -> schema catalog input
+  | Union (a, _) -> schema catalog a
+  | AntiJoin { left; _ } | SemiJoin { left; _ } -> schema catalog left
+  | Limit (_, input) -> schema catalog input
+  | Compute { items; _ } ->
+      Schema.make (List.map (fun (_, name, ty) -> { Schema.name; ty }) items)
+  | Aggregate { keys; aggs; _ } ->
+      Schema.make
+        (List.map (fun (_, name, ty) -> { Schema.name; ty }) keys
+        @ List.map (fun (_, _, name, ty) -> { Schema.name; ty }) aggs)
+
+(* Scans expose qualified names but the underlying table stores unqualified
+   columns, so predicates pushed into scans use positions; positions are
+   alias-independent. *)
+
+let rec lower catalog plan =
+  match plan with
+  | Scan { table; alias; pred } ->
+      let it = Op_scan.seq ?pred (Catalog.find catalog table) in
+      relabel catalog plan it alias table
+  | OrderedScan { table; alias; order_cols; desc; pred; grouped } ->
+      let it = Op_scan.ordered ?pred ~desc (Catalog.find catalog table) ~cols:order_cols in
+      let it = if grouped then Op_scan.grouped_by_tuple it else it in
+      relabel catalog plan it alias table
+  | IndexProbe { table; alias; cols; key; pred } ->
+      let it = Op_scan.index_probe ?pred (Catalog.find catalog table) ~cols ~key in
+      relabel catalog plan it alias table
+  | Filter { input; pred } -> Op_basic.filter pred (lower catalog input)
+  | Project { input; cols } -> Op_basic.project (lower catalog input) ~cols
+  | HashJoin { left; right; left_cols; right_cols; residual } ->
+      Op_join.hash_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols
+        ?residual ()
+  | MergeJoin { left; right; left_cols; right_cols; residual } ->
+      Op_join.merge_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols
+        ?residual ()
+  | NLJoin { left; right; residual } ->
+      Op_join.nl_join ~left:(lower catalog left) ~right:(lower catalog right) ?residual ()
+  | IndexNL { left; table; alias = _; table_cols; left_cols; pred; residual } ->
+      Op_join.index_nl_join ~left:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols
+        ~left_cols ?pred ?residual ()
+  | Idgj { left; table; alias = _; table_cols; left_cols; pred; residual } ->
+      Op_dgj.idgj ~outer:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols ~outer_cols:left_cols
+        ?pred ?residual ()
+  | Hdgj { left; table; alias = _; table_cols; left_cols; pred; residual } ->
+      Op_dgj.hdgj ~outer:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols ~outer_cols:left_cols
+        ?pred ?residual ()
+  | Sort { input; by } -> Op_basic.sort (lower catalog input) ~by
+  | Distinct input -> Op_basic.distinct (lower catalog input)
+  | Union (a, b) -> Op_basic.union (lower catalog a) (lower catalog b)
+  | AntiJoin { left; right; left_cols; right_cols } ->
+      Op_join.anti_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols ()
+  | SemiJoin { left; right; left_cols; right_cols } ->
+      Op_join.semi_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols ()
+  | Limit (n, input) -> Op_basic.limit n (lower catalog input)
+  | Compute { input; items } as node ->
+      let out_schema = schema catalog node in
+      let exprs = List.map (fun (e, _, _) -> e) items in
+      Op_basic.compute (lower catalog input) ~schema:out_schema ~exprs
+  | Aggregate { input; keys; aggs } as node ->
+      let out_schema = schema catalog node in
+      let key_exprs = List.map (fun (e, _, _) -> e) keys in
+      let agg_specs =
+        List.map
+          (fun (kind, arg, _, _) ->
+            let op =
+              match kind with
+              | Count_star -> Op_basic.ACount_star
+              | Count -> Op_basic.ACount
+              | Sum -> Op_basic.ASum
+              | Min -> Op_basic.AMin
+              | Max -> Op_basic.AMax
+              | Avg -> Op_basic.AAvg
+            in
+            (op, arg))
+          aggs
+      in
+      Op_basic.hash_aggregate (lower catalog input) ~schema:out_schema ~keys:key_exprs ~aggs:agg_specs
+
+and relabel catalog plan it alias table =
+  (* The scan operator reports the table's raw schema; substitute the
+     qualified one so positions stay identical but names are qualified. *)
+  ignore table;
+  match alias with
+  | None -> it
+  | Some _ -> { it with Iterator.schema = schema catalog plan }
+
+let run catalog plan = Iterator.to_list (lower catalog plan)
+
+let pred_str = function None -> "" | Some p -> " pred=" ^ Expr.to_string p
+
+let cols_str cols = "[" ^ String.concat "," (List.map string_of_int (Array.to_list cols)) ^ "]"
+
+let explain plan =
+  let buf = Buffer.create 256 in
+  let rec go indent plan =
+    let pad = String.make (indent * 2) ' ' in
+    let line s = Buffer.add_string buf (pad ^ s ^ "\n") in
+    match plan with
+    | Scan { table; pred; _ } -> line (Printf.sprintf "SeqScan %s%s" table (pred_str pred))
+    | OrderedScan { table; order_cols; desc; grouped; pred; _ } ->
+        line
+          (Printf.sprintf "OrderedScan %s by %s%s%s%s" table (String.concat "," order_cols)
+             (if desc then " desc" else "")
+             (if grouped then " (grouped)" else "")
+             (pred_str pred))
+    | IndexProbe { table; cols; pred; _ } ->
+        line (Printf.sprintf "IndexProbe %s on %s%s" table (String.concat "," cols) (pred_str pred))
+    | Filter { input; pred } ->
+        line ("Filter " ^ Expr.to_string pred);
+        go (indent + 1) input
+    | Project { input; cols } ->
+        line ("Project [" ^ String.concat "," (List.map string_of_int cols) ^ "]");
+        go (indent + 1) input
+    | HashJoin { left; right; left_cols; right_cols; _ } ->
+        line (Printf.sprintf "HashJoin %s=%s" (cols_str left_cols) (cols_str right_cols));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | MergeJoin { left; right; left_cols; right_cols; _ } ->
+        line (Printf.sprintf "MergeJoin %s=%s" (cols_str left_cols) (cols_str right_cols));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | NLJoin { left; right; _ } ->
+        line "NLJoin";
+        go (indent + 1) left;
+        go (indent + 1) right
+    | IndexNL { left; table; table_cols; left_cols; _ } ->
+        line
+          (Printf.sprintf "IndexNLJoin %s on %s=%s" table (cols_str left_cols)
+             (String.concat "," table_cols));
+        go (indent + 1) left
+    | Idgj { left; table; table_cols; left_cols; _ } ->
+        line (Printf.sprintf "IDGJ %s on %s=%s" table (cols_str left_cols) (String.concat "," table_cols));
+        go (indent + 1) left
+    | Hdgj { left; table; table_cols; left_cols; _ } ->
+        line (Printf.sprintf "HDGJ %s on %s=%s" table (cols_str left_cols) (String.concat "," table_cols));
+        go (indent + 1) left
+    | Sort { input; by } ->
+        line
+          ("Sort "
+          ^ String.concat ","
+              (List.map (fun (c, d) -> string_of_int c ^ if d then " desc" else " asc") by));
+        go (indent + 1) input
+    | Distinct input ->
+        line "Distinct";
+        go (indent + 1) input
+    | Union (a, b) ->
+        line "Union";
+        go (indent + 1) a;
+        go (indent + 1) b
+    | AntiJoin { left; right; left_cols; right_cols } ->
+        line (Printf.sprintf "AntiJoin %s=%s" (cols_str left_cols) (cols_str right_cols));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | SemiJoin { left; right; left_cols; right_cols } ->
+        line (Printf.sprintf "SemiJoin %s=%s" (cols_str left_cols) (cols_str right_cols));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | Compute { input; items } ->
+        line ("Compute [" ^ String.concat ", " (List.map (fun (e, n, _) -> n ^ "=" ^ Expr.to_string e) items) ^ "]");
+        go (indent + 1) input
+    | Aggregate { input; keys; aggs } ->
+        let agg_name = function
+          | Count_star -> "count(*)"
+          | Count -> "count"
+          | Sum -> "sum"
+          | Min -> "min"
+          | Max -> "max"
+          | Avg -> "avg"
+        in
+        line
+          (Printf.sprintf "Aggregate keys=[%s] aggs=[%s]"
+             (String.concat ", " (List.map (fun (e, _, _) -> Expr.to_string e) keys))
+             (String.concat ", " (List.map (fun (k, _, n, _) -> n ^ "=" ^ agg_name k) aggs)));
+        go (indent + 1) input
+    | Limit (n, input) ->
+        line (Printf.sprintf "Limit %d" n);
+        go (indent + 1) input
+  in
+  go 0 plan;
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Physical query plans.
+
+    A plan is a tree of physical operators that {!lower} turns into a
+    Volcano iterator against a catalog.  Column references inside plans are
+    positional against the node's input schema(s); {!schema} computes output
+    schemas bottom-up (scans with an alias expose qualified column names
+    like ["P.ID"]). *)
+
+type t =
+  | Scan of { table : string; alias : string option; pred : Expr.t option }
+  | OrderedScan of {
+      table : string;
+      alias : string option;
+      order_cols : string list;
+      desc : bool;
+      pred : Expr.t option;
+      grouped : bool;  (** each tuple forms a group (DGJ group source) *)
+    }
+  | IndexProbe of { table : string; alias : string option; cols : string list; key : Value.t array; pred : Expr.t option }
+  | Filter of { input : t; pred : Expr.t }
+  | Project of { input : t; cols : int list }
+  | HashJoin of { left : t; right : t; left_cols : int array; right_cols : int array; residual : Expr.t option }
+  | MergeJoin of { left : t; right : t; left_cols : int array; right_cols : int array; residual : Expr.t option }
+      (** both inputs must be sorted ascending on their key columns *)
+  | NLJoin of { left : t; right : t; residual : Expr.t option }
+  | IndexNL of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Idgj of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Hdgj of {
+      left : t;
+      table : string;
+      alias : string option;
+      table_cols : string list;
+      left_cols : int array;
+      pred : Expr.t option;
+      residual : Expr.t option;
+    }
+  | Sort of { input : t; by : (int * bool) list }
+  | Distinct of t
+  | Union of t * t
+  | AntiJoin of { left : t; right : t; left_cols : int array; right_cols : int array }
+  | SemiJoin of { left : t; right : t; left_cols : int array; right_cols : int array }
+  | Limit of int * t
+  | Compute of { input : t; items : (Expr.t * string * Schema.ty) list }
+      (** generalized projection: each output column is an expression over
+          the input tuple, with a name and a declared type *)
+  | Aggregate of {
+      input : t;
+      keys : (Expr.t * string * Schema.ty) list;  (** group-by keys *)
+      aggs : (agg_kind * Expr.t option * string * Schema.ty) list;
+          (** aggregate functions; output columns are keys then aggs *)
+    }
+
+and agg_kind = Count_star | Count | Sum | Min | Max | Avg
+
+(** [schema catalog plan] is the output schema. @raise Not_found for unknown
+    tables. *)
+val schema : Catalog.t -> t -> Schema.t
+
+(** [lower catalog plan] builds the iterator tree. *)
+val lower : Catalog.t -> t -> Iterator.t
+
+(** [run catalog plan] lowers and drains to a tuple list. *)
+val run : Catalog.t -> t -> Tuple.t list
+
+(** [explain plan] is an indented operator-tree rendering, one operator per
+    line, like the plans of Figure 14/15. *)
+val explain : t -> string

@@ -1,0 +1,74 @@
+type ty = TInt | TFloat | TStr
+
+type column = { name : string; ty : ty }
+
+type t = { cols : column array; by_name : (string, int) Hashtbl.t }
+
+let build cols =
+  let by_name = Hashtbl.create (Array.length cols * 2) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add by_name c.name i)
+    cols;
+  { cols; by_name }
+
+let make columns = build (Array.of_list columns)
+
+let columns t = Array.copy t.cols
+
+let arity t = Array.length t.cols
+
+let column t i =
+  if i < 0 || i >= Array.length t.cols then invalid_arg (Printf.sprintf "Schema.column: index %d" i);
+  t.cols.(i)
+
+let index_of t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let index_opt t name = Hashtbl.find_opt t.by_name name
+
+let mem t name = Hashtbl.mem t.by_name name
+
+let concat a b =
+  (* Join outputs are addressed positionally; colliding names (two
+     unqualified base tables sharing a column name) are disambiguated with a
+     deterministic suffix so the combined schema stays well-formed. *)
+  let taken = Hashtbl.create 16 in
+  let fresh name =
+    if not (Hashtbl.mem taken name) then begin
+      Hashtbl.add taken name ();
+      name
+    end
+    else begin
+      let rec try_suffix k =
+        let candidate = Printf.sprintf "%s#%d" name k in
+        if Hashtbl.mem taken candidate then try_suffix (k + 1)
+        else begin
+          Hashtbl.add taken candidate ();
+          candidate
+        end
+      in
+      try_suffix 2
+    end
+  in
+  build (Array.map (fun c -> { c with name = fresh c.name }) (Array.append a.cols b.cols))
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let qualify alias t =
+  build (Array.map (fun c -> { c with name = alias ^ "." ^ base_name c.name }) t.cols)
+
+let project t indices =
+  build (Array.of_list (List.map (fun i -> column t i) indices))
+
+let ty_to_string = function TInt -> "int" | TFloat -> "float" | TStr -> "str"
+
+let to_string t =
+  let parts = Array.to_list (Array.map (fun c -> c.name ^ ":" ^ ty_to_string c.ty) t.cols) in
+  "(" ^ String.concat ", " parts ^ ")"

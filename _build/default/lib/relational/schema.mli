@@ -1,0 +1,54 @@
+(** Relation schemas: ordered, named, typed columns.
+
+    Column names are qualified with the relation alias once plans are built
+    (["P.ID"]), so joins concatenate schemas without collisions. *)
+
+type ty = TInt | TFloat | TStr
+
+type column = { name : string; ty : ty }
+
+type t
+
+(** [make columns] builds a schema. @raise Invalid_argument on duplicate
+    column names. *)
+val make : column list -> t
+
+(** [columns t] in declaration order. *)
+val columns : t -> column array
+
+(** [arity t] is the number of columns. *)
+val arity : t -> int
+
+(** [column t i]. @raise Invalid_argument when out of bounds. *)
+val column : t -> int -> column
+
+(** [index_of t name] is the position of [name].
+    @raise Not_found when absent. *)
+val index_of : t -> string -> int
+
+(** [index_opt t name]. *)
+val index_opt : t -> string -> int option
+
+(** [mem t name]. *)
+val mem : t -> string -> bool
+
+(** [concat a b] appends [b]'s columns after [a]'s; used by join operators.
+    Name collisions are disambiguated with a deterministic ["#k"] suffix
+    (join outputs are addressed positionally, so this only affects
+    display). *)
+val concat : t -> t -> t
+
+(** [qualify alias t] prefixes every column name with ["alias."].  Columns
+    already containing a dot keep only their last segment before
+    re-qualifying, so re-aliasing a derived relation behaves like SQL. *)
+val qualify : string -> t -> t
+
+(** [project t indices] keeps the listed columns in the given order. *)
+val project : t -> int list -> t
+
+(** [to_string t] is a human-readable rendering like
+    ["(ID:int, desc:str)"]. *)
+val to_string : t -> string
+
+(** [ty_to_string ty]. *)
+val ty_to_string : ty -> string

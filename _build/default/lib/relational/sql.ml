@@ -1,0 +1,15 @@
+let to_plan catalog text = Sql_binder.plan catalog (Sql_parser.parse text)
+
+let query catalog text =
+  let plan = to_plan catalog text in
+  (Physical.schema catalog plan, Physical.run catalog plan)
+
+let explain catalog text = Physical.explain (to_plan catalog text)
+
+let render catalog text =
+  let schema, rows = query catalog text in
+  let header = Array.to_list (Array.map (fun (c : Schema.column) -> c.Schema.name) (Schema.columns schema)) in
+  let body =
+    List.map (fun tuple -> Array.to_list (Array.map Value.to_string tuple)) rows
+  in
+  Topo_util.Pretty.render ~header body

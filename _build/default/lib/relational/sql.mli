@@ -1,0 +1,18 @@
+(** SQL facade: parse, plan and run queries against a catalog. *)
+
+(** [query catalog text] parses, plans and executes; returns the output
+    schema and result rows.
+    @raise Sql_parser.Parse_error, Sql_lexer.Lex_error or
+    Sql_binder.Bind_error on bad input. *)
+val query : Catalog.t -> string -> Schema.t * Tuple.t list
+
+(** [explain catalog text] is the physical plan chosen for the query,
+    rendered as text. *)
+val explain : Catalog.t -> string -> string
+
+(** [to_plan catalog text] parses and plans without executing. *)
+val to_plan : Catalog.t -> string -> Physical.t
+
+(** [render catalog text] runs the query and pretty-prints the result table
+    (header = output column names). *)
+val render : Catalog.t -> string -> string

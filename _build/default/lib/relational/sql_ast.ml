@@ -1,0 +1,62 @@
+type agg_kind = Count_star | Count | Sum | Min | Max | Avg
+
+type expr =
+  | Column of string list
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Cmp of Expr.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Contains of expr * string
+  | Exists of select
+  | Not_exists of select
+  | Agg of agg_kind * expr option
+
+and select = {
+  distinct : bool;
+  items : (expr * string option) list;
+  from : (string * string) list;
+  joins : (string * string * string * expr option) list;
+  where : expr option;
+  group_by : expr list;
+}
+
+type query = {
+  selects : select list;
+  order_by : (expr * bool) list;
+  fetch : int option;
+}
+
+let cmp_to_string = function
+  | Expr.Eq -> "="
+  | Expr.Ne -> "<>"
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+let rec expr_to_string = function
+  | Column segs -> String.concat "." segs
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> Printf.sprintf "%g" f
+  | String_lit s -> "'" ^ s ^ "'"
+  | Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (expr_to_string a) (cmp_to_string op) (expr_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> "NOT " ^ expr_to_string e
+  | Contains (e, kw) -> Printf.sprintf "%s.ct('%s')" (expr_to_string e) kw
+  | Exists _ -> "EXISTS (...)"
+  | Not_exists _ -> "NOT EXISTS (...)"
+  | Agg (kind, e) ->
+      let name =
+        match kind with
+        | Count_star | Count -> "COUNT"
+        | Sum -> "SUM"
+        | Min -> "MIN"
+        | Max -> "MAX"
+        | Avg -> "AVG"
+      in
+      let arg = match (kind, e) with Count_star, _ -> "*" | _, Some e -> expr_to_string e | _, None -> "*" in
+      Printf.sprintf "%s(%s)" name arg

@@ -1,0 +1,47 @@
+(** Abstract syntax for the SQL dialect.
+
+    The dialect covers exactly what the paper's queries (SQL1-SQL6) need:
+    [SELECT \[DISTINCT\]] with expression items and [AS] aliases, comma-style
+    and [JOIN ... ON] from-lists, [WHERE] with [AND]/[OR]/[NOT],
+    comparisons, the keyword-containment predicate [col.ct('word')],
+    correlated [\[NOT\] EXISTS] subqueries, [UNION], [ORDER BY ... DESC] and
+    [FETCH FIRST k ROWS ONLY]. *)
+
+type agg_kind = Count_star | Count | Sum | Min | Max | Avg
+
+type expr =
+  | Column of string list  (** qualified name segments, e.g. [\["P"; "desc"\]] *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Cmp of Expr.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Contains of expr * string  (** [e.ct('kw')] *)
+  | Exists of select
+  | Not_exists of select
+  | Agg of agg_kind * expr option
+      (** [COUNT(STAR)], [SUM(e)], ... — allowed in select items only *)
+
+and select = {
+  distinct : bool;
+  items : (expr * string option) list;  (** expression, optional AS alias *)
+  from : (string * string) list;  (** table name, alias (alias = name when omitted) *)
+  joins : (string * string * string * expr option) list;
+      (** base alias, joined table, joined alias, optional ON condition;
+          an absent condition is a natural join on shared column names, and
+          the joined alias then also names the combined relation (the
+          paper's ["Uni_encodes JOIN Uni_contains as PUD"]) *)
+  where : expr option;
+  group_by : expr list;  (** GROUP BY keys; empty means no grouping *)
+}
+
+type query = {
+  selects : select list;  (** members of the UNION chain, at least one *)
+  order_by : (expr * bool) list;  (** expression, descending? *)
+  fetch : int option;
+}
+
+(** [expr_to_string e] round-trips for error messages. *)
+val expr_to_string : expr -> string

@@ -1,0 +1,511 @@
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+type instance = {
+  idx : int;  (* position in the instance list *)
+  table : string;
+  alias : string;
+  base_schema : Schema.t;
+}
+
+type binding = {
+  instances : instance array;
+  (* alias groups: a name that stands for several instances (ON-less join
+     chains like PUD). *)
+  groups : (string * int list) list;
+}
+
+let make_binding catalog (select : Sql_ast.select) =
+  let entries =
+    select.Sql_ast.from
+    @ List.map (fun (_, table, alias, _) -> (table, alias)) select.Sql_ast.joins
+  in
+  let instances =
+    Array.of_list
+      (List.mapi
+         (fun idx (table, alias) ->
+           match Catalog.find_opt catalog table with
+           | None -> fail "unknown table %s" table
+           | Some t -> { idx; table; alias; base_schema = Table.schema t })
+         entries)
+  in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun inst ->
+      if Hashtbl.mem seen inst.alias then fail "duplicate alias %s" inst.alias;
+      Hashtbl.add seen inst.alias ())
+    instances;
+  (* ON-less joins: the joined alias also names the combined relation. *)
+  let alias_index alias =
+    match Array.find_opt (fun i -> i.alias = alias) instances with
+    | Some i -> i.idx
+    | None -> fail "unknown alias %s" alias
+  in
+  let groups =
+    List.filter_map
+      (fun (base_alias, _, alias, cond) ->
+        match cond with
+        | Some _ -> None
+        | None -> Some (alias, [ alias_index base_alias; alias_index alias ]))
+      select.Sql_ast.joins
+  in
+  { instances; groups }
+
+(* Resolve a column reference to (instance, column position in its base
+   schema). *)
+let resolve_column binding segs =
+  match segs with
+  | [ qualifier; col ] -> (
+      let group_lookup () =
+        match List.assoc_opt qualifier binding.groups with
+        | None -> None
+        | Some members -> (
+            let hits =
+              List.filter_map
+                (fun idx ->
+                  let inst = binding.instances.(idx) in
+                  Option.map (fun pos -> (idx, pos)) (Schema.index_opt inst.base_schema col))
+                members
+            in
+            match hits with
+            | [ hit ] -> Some hit
+            | [] -> None
+            | _ :: _ -> fail "ambiguous column %s in join group %s" col qualifier)
+      in
+      match Array.find_opt (fun i -> i.alias = qualifier) binding.instances with
+      | Some inst -> (
+          match Schema.index_opt inst.base_schema col with
+          | Some pos -> (inst.idx, pos)
+          | None -> (
+              (* A join-group alias can shadow the joined table's own alias
+                 (the paper's PUD); fall back to the group. *)
+              match group_lookup () with
+              | Some hit -> hit
+              | None -> fail "no column %s in %s" col qualifier))
+      | None -> (
+          match group_lookup () with
+          | Some hit -> hit
+          | None -> fail "unknown alias or column %s.%s" qualifier col))
+  | [ col ] -> (
+      let hits =
+        Array.to_list
+          (Array.map
+             (fun inst -> Option.map (fun pos -> (inst.idx, pos)) (Schema.index_opt inst.base_schema col))
+             binding.instances)
+        |> List.filter_map Fun.id
+      in
+      match hits with
+      | [ hit ] -> hit
+      | [] -> fail "unknown column %s" col
+      | _ :: _ -> fail "ambiguous column %s" col)
+  | _ -> fail "unsupported column reference %s" (String.concat "." segs)
+
+(* A bound scalar expression: which instances it touches, and a builder
+   producing an Expr.t once instance offsets are known. *)
+type bound_expr = { touches : int list; build : (int -> int) -> Expr.t }
+
+let rec bind_expr binding (e : Sql_ast.expr) : bound_expr =
+  let module IS = Set.Make (Int) in
+  match e with
+  | Sql_ast.Column segs ->
+      let inst, pos = resolve_column binding segs in
+      { touches = [ inst ]; build = (fun offset -> Expr.Col (offset inst + pos)) }
+  | Sql_ast.Int_lit n -> { touches = []; build = (fun _ -> Expr.Const (Value.Int n)) }
+  | Sql_ast.Float_lit f -> { touches = []; build = (fun _ -> Expr.Const (Value.Float f)) }
+  | Sql_ast.String_lit s -> { touches = []; build = (fun _ -> Expr.Const (Value.Str s)) }
+  | Sql_ast.Cmp (op, a, b) ->
+      let ba = bind_expr binding a and bb = bind_expr binding b in
+      {
+        touches = IS.elements (IS.union (IS.of_list ba.touches) (IS.of_list bb.touches));
+        build = (fun o -> Expr.Cmp (op, ba.build o, bb.build o));
+      }
+  | Sql_ast.And (a, b) ->
+      let ba = bind_expr binding a and bb = bind_expr binding b in
+      {
+        touches = IS.elements (IS.union (IS.of_list ba.touches) (IS.of_list bb.touches));
+        build = (fun o -> Expr.And [ ba.build o; bb.build o ]);
+      }
+  | Sql_ast.Or (a, b) ->
+      let ba = bind_expr binding a and bb = bind_expr binding b in
+      {
+        touches = IS.elements (IS.union (IS.of_list ba.touches) (IS.of_list bb.touches));
+        build = (fun o -> Expr.Or [ ba.build o; bb.build o ]);
+      }
+  | Sql_ast.Not a ->
+      let ba = bind_expr binding a in
+      { touches = ba.touches; build = (fun o -> Expr.Not (ba.build o)) }
+  | Sql_ast.Contains (a, kw) ->
+      let ba = bind_expr binding a in
+      { touches = ba.touches; build = (fun o -> Expr.Contains (ba.build o, kw)) }
+  | Sql_ast.Exists _ | Sql_ast.Not_exists _ ->
+      fail "EXISTS is only supported as a top-level WHERE conjunct"
+  | Sql_ast.Agg _ -> fail "aggregates are only allowed in the select list"
+
+(* --- conjunct classification ----------------------------------------- *)
+
+type conjunct =
+  | Local of int * bound_expr  (* touches exactly one instance *)
+  | Join_edge of (int * int) * (int * int)  (* (inst, col) = (inst, col) *)
+  | Residual of bound_expr
+  | Subquery of bool * Sql_ast.select  (* semi? (true = EXISTS) *)
+
+let rec flatten_conjuncts (e : Sql_ast.expr) =
+  match e with
+  | Sql_ast.And (a, b) -> flatten_conjuncts a @ flatten_conjuncts b
+  | _ -> [ e ]
+
+let classify binding (e : Sql_ast.expr) =
+  match e with
+  | Sql_ast.Exists sub -> Subquery (true, sub)
+  | Sql_ast.Not_exists sub -> Subquery (false, sub)
+  | Sql_ast.Cmp (Expr.Eq, Sql_ast.Column a, Sql_ast.Column b) -> (
+      let ia, pa = resolve_column binding a and ib, pb = resolve_column binding b in
+      if ia <> ib then Join_edge ((ia, pa), (ib, pb))
+      else
+        let be = bind_expr binding e in
+        Local (ia, be))
+  | _ -> (
+      let be = bind_expr binding e in
+      match be.touches with
+      | [ i ] -> Local (i, be)
+      | [] -> Residual be
+      | _ :: _ :: _ -> Residual be)
+
+(* --- planning a single select ----------------------------------------- *)
+
+type partial = { plan : Physical.t; placed : int list }
+
+let instance_offset binding placed target =
+  let rec go acc = function
+    | [] -> fail "internal: instance %d not yet placed" target
+    | i :: rest ->
+        if i = target then acc else go (acc + Schema.arity binding.instances.(i).base_schema) rest
+  in
+  go 0 placed
+
+let rec plan_select catalog (select : Sql_ast.select) =
+  let binding = make_binding catalog select in
+  let conjs =
+    (match select.Sql_ast.where with None -> [] | Some w -> flatten_conjuncts w)
+    @ List.concat_map
+        (fun (_, _, _, cond) -> match cond with Some c -> flatten_conjuncts c | None -> [])
+        select.Sql_ast.joins
+  in
+  (* Natural joins (ON-less) contribute join edges on shared columns. *)
+  let natural_edges =
+    List.filter_map
+      (fun (base_alias, _, alias, cond) ->
+        match cond with
+        | Some _ -> None
+        | None ->
+            let find a =
+              match Array.find_opt (fun i -> i.alias = a) binding.instances with
+              | Some i -> i
+              | None -> fail "unknown alias %s" a
+            in
+            let a = find base_alias and b = find alias in
+            (* Surrogate primary keys (the edge-id columns our relationship
+               tables carry, unlike the paper's) are not natural-join
+               keys. *)
+            let pk inst = Table.primary_key (Catalog.find catalog inst.table) in
+            let excluded = List.filter_map Fun.id [ pk a; pk b ] in
+            let shared =
+              Array.to_list (Schema.columns a.base_schema)
+              |> List.filter_map (fun (c : Schema.column) ->
+                     if List.mem c.name excluded then None
+                     else
+                       match Schema.index_opt b.base_schema c.name with
+                       | Some pb -> Some ((a.idx, Schema.index_of a.base_schema c.name), (b.idx, pb))
+                       | None -> None)
+            in
+            if shared = [] then fail "natural join of %s and %s shares no columns" base_alias alias
+            else Some shared)
+      select.Sql_ast.joins
+    |> List.concat
+  in
+  let classified = List.map (classify binding) conjs in
+  let locals = Hashtbl.create 8 in
+  let edges = ref natural_edges in
+  let residuals = ref [] in
+  let subqueries = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | Local (i, be) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt locals i) in
+          Hashtbl.replace locals i (be :: cur)
+      | Join_edge (a, b) -> edges := (a, b) :: !edges
+      | Residual be -> residuals := be :: !residuals
+      | Subquery (semi, sub) -> subqueries := (semi, sub) :: !subqueries)
+    classified;
+  let scan_of inst =
+    let preds = Option.value ~default:[] (Hashtbl.find_opt locals inst.idx) in
+    let pred =
+      match preds with
+      | [] -> None
+      | _ ->
+          (* Local predicates run against the base schema: offset 0. *)
+          Some (Expr.And (List.map (fun be -> be.build (fun _ -> 0)) preds))
+    in
+    Physical.Scan { table = inst.table; alias = Some inst.alias; pred }
+  in
+  (* Greedy connected join order starting from the first instance. *)
+  let n = Array.length binding.instances in
+  let start = { plan = scan_of binding.instances.(0); placed = [ 0 ] } in
+  let rec add_joins partial =
+    if List.length partial.placed = n then partial
+    else begin
+      let remaining = List.filter (fun i -> not (List.mem i partial.placed)) (List.init n Fun.id) in
+      (* Prefer an instance connected to the placed prefix by an edge. *)
+      let connected =
+        List.filter_map
+          (fun r ->
+            let relevant =
+              List.filter_map
+                (fun ((ia, pa), (ib, pb)) ->
+                  if ia = r && List.mem ib partial.placed then Some ((ib, pb), (r, pa))
+                  else if ib = r && List.mem ia partial.placed then Some ((ia, pa), (r, pb))
+                  else None)
+                !edges
+            in
+            if relevant = [] then None else Some (r, relevant))
+          remaining
+      in
+      match connected with
+      | (r, pairs) :: _ ->
+          let inst = binding.instances.(r) in
+          let left_cols =
+            Array.of_list
+              (List.map (fun ((pi, pp), _) -> instance_offset binding partial.placed pi + pp) pairs)
+          in
+          let right_cols = Array.of_list (List.map (fun (_, (_, rp)) -> rp) pairs) in
+          let plan =
+            Physical.HashJoin
+              { left = partial.plan; right = scan_of inst; left_cols; right_cols; residual = None }
+          in
+          add_joins { plan; placed = partial.placed @ [ r ] }
+      | [] -> (
+          match remaining with
+          | r :: _ ->
+              let inst = binding.instances.(r) in
+              let plan = Physical.NLJoin { left = partial.plan; right = scan_of inst; residual = None } in
+              add_joins { plan; placed = partial.placed @ [ r ] }
+          | [] -> partial)
+    end
+  in
+  let joined = add_joins start in
+  let offset i = instance_offset binding joined.placed i in
+  (* Residual filters over the joined schema. *)
+  let plan =
+    List.fold_left
+      (fun plan be -> Physical.Filter { input = plan; pred = be.build offset })
+      joined.plan !residuals
+  in
+  (* Decorrelate subqueries into semi/anti joins. *)
+  let plan =
+    List.fold_left (fun plan (semi, sub) -> apply_subquery catalog binding offset plan semi sub) plan
+      (List.rev !subqueries)
+  in
+  (* Projection via Compute. *)
+  let rec infer_ty (be_ast : Sql_ast.expr) =
+    match be_ast with
+    | Sql_ast.Column segs ->
+        let inst, pos = resolve_column binding segs in
+        (Schema.column binding.instances.(inst).base_schema pos).Schema.ty
+    | Sql_ast.Int_lit _ -> Schema.TInt
+    | Sql_ast.Float_lit _ -> Schema.TFloat
+    | Sql_ast.String_lit _ -> Schema.TStr
+    | Sql_ast.Cmp _ | Sql_ast.And _ | Sql_ast.Or _ | Sql_ast.Not _ | Sql_ast.Contains _
+    | Sql_ast.Exists _ | Sql_ast.Not_exists _ ->
+        Schema.TInt
+    | Sql_ast.Agg ((Sql_ast.Count_star | Sql_ast.Count), _) -> Schema.TInt
+    | Sql_ast.Agg (Sql_ast.Avg, _) -> Schema.TFloat
+    | Sql_ast.Agg ((Sql_ast.Sum | Sql_ast.Min | Sql_ast.Max), Some arg) -> infer_ty arg
+    | Sql_ast.Agg ((Sql_ast.Sum | Sql_ast.Min | Sql_ast.Max), None) -> Schema.TInt
+  in
+  let item_name i e alias =
+    match alias with
+    | Some a -> a
+    | None -> (
+        match e with
+        | Sql_ast.Column segs -> String.concat "." segs
+        | Sql_ast.Agg _ -> Sql_ast.expr_to_string e
+        | _ -> Printf.sprintf "col%d" i)
+  in
+  let rec has_agg = function
+    | Sql_ast.Agg _ -> true
+    | Sql_ast.Cmp (_, a, b) | Sql_ast.And (a, b) | Sql_ast.Or (a, b) -> has_agg a || has_agg b
+    | Sql_ast.Not e | Sql_ast.Contains (e, _) -> has_agg e
+    | Sql_ast.Column _ | Sql_ast.Int_lit _ | Sql_ast.Float_lit _ | Sql_ast.String_lit _
+    | Sql_ast.Exists _ | Sql_ast.Not_exists _ ->
+        false
+  in
+  let aggregated =
+    select.Sql_ast.group_by <> [] || List.exists (fun (e, _) -> has_agg e) select.Sql_ast.items
+  in
+  let plan =
+    if not aggregated then begin
+      let items =
+        List.mapi
+          (fun i (e, alias) ->
+            let be = bind_expr binding e in
+            (be.build offset, item_name i e alias, infer_ty e))
+          select.Sql_ast.items
+      in
+      Physical.Compute { input = plan; items }
+    end
+    else begin
+      (* GROUP BY planning: every item must be a group key or an
+         aggregate. *)
+      let keys =
+        List.mapi
+          (fun i g ->
+            let be = bind_expr binding g in
+            (be.build offset, Printf.sprintf "k%d" i, infer_ty g))
+          select.Sql_ast.group_by
+      in
+      let aggs = ref [] in
+      (* item -> position in the Aggregate output (keys then aggs) *)
+      let n_keys = List.length keys in
+      let key_index g =
+        let rec find i = function
+          | [] -> None
+          | g' :: rest -> if g' = g then Some i else find (i + 1) rest
+        in
+        find 0 select.Sql_ast.group_by
+      in
+      let item_positions =
+        List.map
+          (fun (e, _) ->
+            match key_index e with
+            | Some i -> i
+            | None -> (
+                match e with
+                | Sql_ast.Agg (kind, arg) ->
+                    let physical_kind =
+                      match kind with
+                      | Sql_ast.Count_star -> Physical.Count_star
+                      | Sql_ast.Count -> Physical.Count
+                      | Sql_ast.Sum -> Physical.Sum
+                      | Sql_ast.Min -> Physical.Min
+                      | Sql_ast.Max -> Physical.Max
+                      | Sql_ast.Avg -> Physical.Avg
+                    in
+                    let bound_arg = Option.map (fun a -> (bind_expr binding a).build offset) arg in
+                    let ty = infer_ty e in
+                    let pos = n_keys + List.length !aggs in
+                    aggs := !aggs @ [ (physical_kind, bound_arg, Printf.sprintf "a%d" (List.length !aggs), ty) ];
+                    pos
+                | _ -> fail "select item %s is neither a GROUP BY key nor an aggregate" (Sql_ast.expr_to_string e)))
+          select.Sql_ast.items
+      in
+      let agg_plan = Physical.Aggregate { input = plan; keys; aggs = !aggs } in
+      let agg_cols =
+        List.map (fun (_, n, ty) -> (n, ty)) keys @ List.map (fun (_, _, n, ty) -> (n, ty)) !aggs
+      in
+      let items =
+        List.mapi
+          (fun i ((e, alias), pos) ->
+            let _, ty = List.nth agg_cols pos in
+            (Expr.Col pos, item_name i e alias, ty))
+          (List.combine select.Sql_ast.items item_positions)
+      in
+      Physical.Compute { input = agg_plan; items }
+    end
+  in
+  if select.Sql_ast.distinct then Physical.Distinct plan else plan
+
+and apply_subquery catalog outer_binding outer_offset outer_plan semi sub =
+  (* Split the subquery's conjuncts into correlations (equalities touching
+     an outer instance) and inner-only conditions. *)
+  let conjs = match sub.Sql_ast.where with None -> [] | Some w -> flatten_conjuncts w in
+  let correlations = ref [] in
+  let inner_conjs = ref [] in
+  let outer_has segs =
+    match segs with
+    | [ q; _ ] -> Array.exists (fun i -> i.alias = q) outer_binding.instances
+    | _ -> false
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Sql_ast.Cmp (Expr.Eq, Sql_ast.Column a, Sql_ast.Column b)
+        when outer_has a || outer_has b ->
+          let outer_segs, inner_segs = if outer_has a then (a, b) else (b, a) in
+          if outer_has inner_segs then fail "subquery correlation between two outer columns";
+          correlations := (outer_segs, inner_segs) :: !correlations
+      | _ -> inner_conjs := c :: !inner_conjs)
+    conjs;
+  if !correlations = [] then fail "uncorrelated EXISTS subqueries are not supported";
+  let inner_where =
+    match List.rev !inner_conjs with
+    | [] -> None
+    | c :: rest -> Some (List.fold_left (fun acc e -> Sql_ast.And (acc, e)) c rest)
+  in
+  let inner_select =
+    {
+      sub with
+      Sql_ast.where = inner_where;
+      Sql_ast.group_by = [];
+      Sql_ast.items =
+        List.map (fun (_, inner_segs) -> (Sql_ast.Column inner_segs, None)) (List.rev !correlations);
+      Sql_ast.distinct = false;
+    }
+  in
+  let inner_plan = plan_select catalog inner_select in
+  let left_cols =
+    Array.of_list
+      (List.map
+         (fun (outer_segs, _) ->
+           let inst, pos = resolve_column outer_binding outer_segs in
+           outer_offset inst + pos)
+         (List.rev !correlations))
+  in
+  let right_cols = Array.init (Array.length left_cols) Fun.id in
+  if semi then Physical.SemiJoin { left = outer_plan; right = inner_plan; left_cols; right_cols }
+  else Physical.AntiJoin { left = outer_plan; right = inner_plan; left_cols; right_cols }
+
+let plan catalog (query : Sql_ast.query) =
+  let selects = List.map (plan_select catalog) query.Sql_ast.selects in
+  let combined =
+    match selects with
+    | [] -> fail "empty query"
+    | first :: rest -> List.fold_left (fun acc s -> Physical.Union (acc, s)) first rest
+  in
+  (* ORDER BY resolves against the output schema (item aliases). *)
+  let out_schema = Physical.schema catalog combined in
+  let plan =
+    match query.Sql_ast.order_by with
+    | [] -> combined
+    | keys ->
+        let by =
+          List.map
+            (fun (e, desc) ->
+              match e with
+              | Sql_ast.Column [ name ] -> (
+                  match Schema.index_opt out_schema name with
+                  | Some pos -> (pos, desc)
+                  | None -> (
+                      (* Fall back to matching the unqualified tail of
+                         output names (ORDER BY freq against "T.freq"). *)
+                      let suffix = "." ^ name in
+                      let hits =
+                        Array.to_list (Schema.columns out_schema)
+                        |> List.mapi (fun i (c : Schema.column) -> (i, c.Schema.name))
+                        |> List.filter (fun (_, n) ->
+                               String.length n > String.length suffix
+                               && String.sub n (String.length n - String.length suffix)
+                                    (String.length suffix)
+                                  = suffix)
+                      in
+                      match hits with
+                      | [ (pos, _) ] -> (pos, desc)
+                      | [] -> fail "ORDER BY column %s is not in the output" name
+                      | _ :: _ -> fail "ORDER BY column %s is ambiguous" name))
+              | _ -> fail "ORDER BY supports output column names only")
+            keys
+        in
+        Physical.Sort { input = combined; by }
+  in
+  match query.Sql_ast.fetch with None -> plan | Some k -> Physical.Limit (k, plan)

@@ -1,0 +1,141 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    (* ASC/DESC/TOP are deliberately absent: "desc" is a column name in the
+       paper's schema and "Top" its TopInfo alias; both are parsed
+       context-sensitively as identifiers. *)
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EXISTS"; "AS"; "UNION";
+    "ORDER"; "BY"; "GROUP"; "FETCH"; "FIRST"; "ROWS"; "ROW"; "ONLY"; "JOIN"; "ON";
+    "IS"; "NULL";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = Topo_util.Dyn.create () in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let error msg = raise (Lex_error (msg, !pos)) in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p input.[!pos] do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let rec loop () =
+    match peek () with
+    | None -> Topo_util.Dyn.push tokens EOF
+    | Some c ->
+        (match c with
+        | ' ' | '\t' | '\n' | '\r' -> advance ()
+        | '(' -> advance (); Topo_util.Dyn.push tokens LPAREN
+        | ')' -> advance (); Topo_util.Dyn.push tokens RPAREN
+        | ',' -> advance (); Topo_util.Dyn.push tokens COMMA
+        | '.' -> advance (); Topo_util.Dyn.push tokens DOT
+        | '*' -> advance (); Topo_util.Dyn.push tokens STAR
+        | '=' -> advance (); Topo_util.Dyn.push tokens EQ
+        | '<' ->
+            advance ();
+            (match peek () with
+            | Some '>' -> advance (); Topo_util.Dyn.push tokens NE
+            | Some '=' -> advance (); Topo_util.Dyn.push tokens LE
+            | Some _ | None -> Topo_util.Dyn.push tokens LT)
+        | '>' ->
+            advance ();
+            (match peek () with
+            | Some '=' -> advance (); Topo_util.Dyn.push tokens GE
+            | Some _ | None -> Topo_util.Dyn.push tokens GT)
+        | '!' ->
+            advance ();
+            (match peek () with
+            | Some '=' -> advance (); Topo_util.Dyn.push tokens NE
+            | Some _ | None -> error "expected '=' after '!'")
+        | '\'' ->
+            advance ();
+            let buf = Buffer.create 16 in
+            let rec str () =
+              match peek () with
+              | None -> error "unterminated string literal"
+              | Some '\'' -> (
+                  advance ();
+                  (* Doubled quote escapes a quote, SQL style. *)
+                  match peek () with
+                  | Some '\'' ->
+                      Buffer.add_char buf '\'';
+                      advance ();
+                      str ()
+                  | Some _ | None -> ())
+              | Some c ->
+                  Buffer.add_char buf c;
+                  advance ();
+                  str ()
+            in
+            str ();
+            Topo_util.Dyn.push tokens (STRING (Buffer.contents buf))
+        | c when is_digit c ->
+            let whole = read_while is_digit in
+            let tok =
+              match peek () with
+              | Some '.' when !pos + 1 < n && is_digit input.[!pos + 1] ->
+                  advance ();
+                  let frac = read_while is_digit in
+                  FLOAT (float_of_string (whole ^ "." ^ frac))
+              | Some _ | None -> INT (int_of_string whole)
+            in
+            Topo_util.Dyn.push tokens tok
+        | c when is_ident_start c ->
+            let word = read_while is_ident_char in
+            let upper = String.uppercase_ascii word in
+            if List.mem upper keywords then Topo_util.Dyn.push tokens (KW upper)
+            else Topo_util.Dyn.push tokens (IDENT word)
+        | c -> error (Printf.sprintf "unexpected character %C" c));
+        if Topo_util.Dyn.is_empty tokens || Topo_util.Dyn.last tokens <> EOF then loop ()
+  in
+  loop ();
+  Topo_util.Dyn.to_array tokens
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> "'" ^ s ^ "'"
+  | KW s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,30 @@
+(** Hand-written lexer for the SQL dialect. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercased keyword: SELECT, FROM, ... *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+(** [tokenize input] is the full token stream, ending with [EOF].
+    Keywords are recognized case-insensitively; identifiers keep their
+    spelling.  @raise Lex_error on malformed input. *)
+val tokenize : string -> token array
+
+(** [token_to_string t] for error messages. *)
+val token_to_string : token -> string

@@ -1,0 +1,273 @@
+open Sql_lexer
+
+exception Parse_error of string
+
+type state = { tokens : token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+
+let peek2 st = if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1) else EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (at token %d: %s)" msg st.pos (token_to_string (peek st))))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let expect_kw st kw = expect st (KW kw) (Printf.sprintf "expected %s" kw)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (KW kw)
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Sql_ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "AND" then Sql_ast.And (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "NOT" then
+    if accept_kw st "EXISTS" then begin
+      expect st LPAREN "expected ( after NOT EXISTS";
+      let sub = parse_select st in
+      expect st RPAREN "expected ) closing subquery";
+      Sql_ast.Not_exists sub
+    end
+    else Sql_ast.Not (parse_not st)
+  else parse_comparison st
+
+and parse_comparison st =
+  if accept_kw st "EXISTS" then begin
+    expect st LPAREN "expected ( after EXISTS";
+    let sub = parse_select st in
+    expect st RPAREN "expected ) closing subquery";
+    Sql_ast.Exists sub
+  end
+  else begin
+    let left = parse_primary st in
+    match peek st with
+    | EQ -> advance st; Sql_ast.Cmp (Expr.Eq, left, parse_primary st)
+    | NE -> advance st; Sql_ast.Cmp (Expr.Ne, left, parse_primary st)
+    | LT -> advance st; Sql_ast.Cmp (Expr.Lt, left, parse_primary st)
+    | LE -> advance st; Sql_ast.Cmp (Expr.Le, left, parse_primary st)
+    | GT -> advance st; Sql_ast.Cmp (Expr.Gt, left, parse_primary st)
+    | GE -> advance st; Sql_ast.Cmp (Expr.Ge, left, parse_primary st)
+    | IDENT _ | INT _ | FLOAT _ | STRING _ | KW _ | LPAREN | RPAREN | COMMA | DOT | STAR | EOF -> left
+  end
+
+and parse_primary st =
+  match peek st with
+  | INT n -> advance st; Sql_ast.Int_lit n
+  | FLOAT f -> advance st; Sql_ast.Float_lit f
+  | STRING s -> advance st; Sql_ast.String_lit s
+  | LPAREN ->
+      advance st;
+      let e = parse_or st in
+      expect st RPAREN "expected )";
+      e
+  | IDENT name
+    when List.mem (String.uppercase_ascii name) [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+         && peek2 st = LPAREN ->
+      let kind_name = String.uppercase_ascii name in
+      advance st;
+      advance st;
+      let kind, arg =
+        if peek st = STAR then begin
+          advance st;
+          if kind_name <> "COUNT" then fail st "only COUNT accepts *";
+          (Sql_ast.Count_star, None)
+        end
+        else begin
+          let e = parse_primary st in
+          let kind =
+            match kind_name with
+            | "COUNT" -> Sql_ast.Count
+            | "SUM" -> Sql_ast.Sum
+            | "MIN" -> Sql_ast.Min
+            | "MAX" -> Sql_ast.Max
+            | "AVG" -> Sql_ast.Avg
+            | _ -> assert false
+          in
+          (kind, Some e)
+        end
+      in
+      expect st RPAREN "expected ) closing aggregate";
+      Sql_ast.Agg (kind, arg)
+  | IDENT _ ->
+      let rec segments acc =
+        let seg = ident st in
+        if peek st = DOT then begin
+          advance st;
+          (* [col.ct('kw')] — the paper's keyword-containment syntax. *)
+          match (peek st, peek2 st) with
+          | IDENT "ct", LPAREN ->
+              advance st;
+              advance st;
+              let kw =
+                match peek st with
+                | STRING s -> advance st; s
+                | _ -> fail st "expected string literal inside ct()"
+              in
+              expect st RPAREN "expected ) closing ct(";
+              `Contains (List.rev (seg :: acc), kw)
+          | _ -> segments (seg :: acc)
+        end
+        else `Column (List.rev (seg :: acc))
+      in
+      (match segments [] with
+      | `Column segs -> Sql_ast.Column segs
+      | `Contains (segs, kw) -> Sql_ast.Contains (Sql_ast.Column segs, kw))
+  | _ -> fail st "expected expression"
+
+(* --- select ----------------------------------------------------------- *)
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let rec items acc =
+    let e = parse_primary st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | IDENT _ when peek2 st <> DOT -> (
+            (* bare alias, as in "Top.score SCORE" *)
+            match peek st with
+            | IDENT s ->
+                advance st;
+                Some s
+            | _ -> None)
+        | _ -> None
+    in
+    let acc = (e, alias) :: acc in
+    if accept st COMMA then items acc else List.rev acc
+  in
+  let items = items [] in
+  expect_kw st "FROM";
+  let parse_table_ref () =
+    let name = ident st in
+    let alias =
+      if accept_kw st "AS" then ident st
+      else
+        match peek st with
+        | IDENT s ->
+            advance st;
+            s
+        | _ -> name
+    in
+    (name, alias)
+  in
+  let rec from_list from joins =
+    let base_name, base_alias = parse_table_ref () in
+    let rec join_chain prev_alias joins =
+      if accept_kw st "JOIN" then begin
+        let name, alias = parse_table_ref () in
+        if accept_kw st "ON" then begin
+          let cond = parse_or st in
+          join_chain alias ((prev_alias, name, alias, Some cond) :: joins)
+        end
+        else
+          (* The paper writes "A JOIN B as AB" meaning a natural join on the
+             shared column; the binder resolves it. *)
+          join_chain alias ((prev_alias, name, alias, None) :: joins)
+      end
+      else joins
+    in
+    let joins = join_chain base_alias joins in
+    let from = (base_name, base_alias) :: from in
+    if accept st COMMA then from_list from joins else (List.rev from, List.rev joins)
+  in
+  let from, joins = from_list [] [] in
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_primary st in
+        let acc = e :: acc in
+        if accept st COMMA then keys acc else List.rev acc
+      in
+      keys []
+    end
+    else []
+  in
+  { Sql_ast.distinct; items; from; joins; where; group_by }
+
+let parse_query st =
+  let rec selects acc =
+    let s = parse_select st in
+    if accept_kw st "UNION" then selects (s :: acc) else List.rev (s :: acc)
+  in
+  let selects = selects [] in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_primary st in
+        (* Directions are identifiers (DESC cannot be a keyword because
+           "desc" is a column name in the Biozon schema). *)
+        let desc =
+          match peek st with
+          | IDENT s when String.lowercase_ascii s = "desc" ->
+              advance st;
+              true
+          | IDENT s when String.lowercase_ascii s = "asc" ->
+              advance st;
+              false
+          | _ -> false
+        in
+        let acc = (e, desc) :: acc in
+        if accept st COMMA then keys acc else List.rev acc
+      in
+      keys []
+    end
+    else []
+  in
+  let fetch =
+    if accept_kw st "FETCH" then begin
+      ignore (accept_kw st "FIRST");
+      (* "FETCH TOP n": TOP is an identifier (it collides with the paper's
+         TopInfo alias), accepted here by spelling. *)
+      (match peek st with
+      | IDENT s when String.uppercase_ascii s = "TOP" -> advance st
+      | _ -> ());
+      let n =
+        match peek st with
+        | INT n ->
+            advance st;
+            n
+        | _ -> fail st "expected row count after FETCH FIRST"
+      in
+      ignore (accept_kw st "ROWS");
+      ignore (accept_kw st "ROW");
+      ignore (accept_kw st "ONLY");
+      Some n
+    end
+    else None
+  in
+  { Sql_ast.selects; order_by; fetch }
+
+let parse input =
+  let st = { tokens = Sql_lexer.tokenize input; pos = 0 } in
+  let q = parse_query st in
+  if peek st <> EOF then fail st "trailing input after query";
+  q

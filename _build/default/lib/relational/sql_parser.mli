@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the SQL dialect. *)
+
+exception Parse_error of string
+
+(** [parse input] parses a full query (a UNION chain with optional ORDER BY
+    / FETCH FIRST tail).  @raise Parse_error / {!Sql_lexer.Lex_error} on
+    malformed input. *)
+val parse : string -> Sql_ast.query

@@ -1,0 +1,97 @@
+module Dyn = Topo_util.Dyn
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  pk_col : int option;
+  rows : Tuple.t Dyn.t;
+  pk_index : (Value.t, int) Hashtbl.t;
+  mutable indexes : ((Index.kind * string list) * Index.t) list;
+  mutable indexed_upto : int;  (* row count when indexes were built *)
+  mutable byte_size : int;
+}
+
+let create ~name ~schema ?primary_key () =
+  let pk_col =
+    match primary_key with
+    | None -> None
+    | Some col -> (
+        match Schema.index_opt schema col with
+        | Some i -> Some i
+        | None -> invalid_arg (Printf.sprintf "Table.create: unknown primary key %s.%s" name col))
+  in
+  {
+    name;
+    schema;
+    pk_col;
+    rows = Dyn.create ();
+    pk_index = Hashtbl.create 1024;
+    indexes = [];
+    indexed_upto = 0;
+    byte_size = 0;
+  }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let insert t tuple =
+  if Array.length tuple <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name (Array.length tuple)
+         (Schema.arity t.schema));
+  (match t.pk_col with
+  | None -> ()
+  | Some i ->
+      let key = tuple.(i) in
+      if Hashtbl.mem t.pk_index key then
+        invalid_arg (Printf.sprintf "Table.insert(%s): duplicate primary key %s" t.name (Value.to_string key));
+      Hashtbl.add t.pk_index key (Dyn.length t.rows));
+  Dyn.push t.rows tuple;
+  t.byte_size <- t.byte_size + Tuple.width tuple
+
+let insert_values t values = insert t (Array.of_list values)
+
+let row_count t = Dyn.length t.rows
+
+let get t rowno = Dyn.get t.rows rowno
+
+let rows t = Dyn.to_array t.rows
+
+let iter f t = Dyn.iteri f t.rows
+
+let primary_key t =
+  Option.map (fun i -> (Schema.column t.schema i).Schema.name) t.pk_col
+
+let find_by_pk t key =
+  match t.pk_col with
+  | None -> invalid_arg (Printf.sprintf "Table.find_by_pk(%s): no primary key" t.name)
+  | Some _ -> (
+      match Hashtbl.find_opt t.pk_index key with
+      | Some rowno -> Some (Dyn.get t.rows rowno)
+      | None -> None)
+
+let ensure_index t ~kind ~cols =
+  if t.indexed_upto <> Dyn.length t.rows then begin
+    (* Rows were appended since the last index build: all cached indexes are
+       stale. *)
+    t.indexes <- [];
+    t.indexed_upto <- Dyn.length t.rows
+  end;
+  let key = (kind, cols) in
+  match List.assoc_opt key t.indexes with
+  | Some idx -> idx
+  | None ->
+      let positions = Array.of_list (List.map (Schema.index_of t.schema) cols) in
+      let idx = Index.build ~kind ~cols:positions (rows t) in
+      t.indexes <- (key, idx) :: t.indexes;
+      idx
+
+let byte_size t = t.byte_size
+
+let truncate t =
+  Dyn.clear t.rows;
+  Hashtbl.reset t.pk_index;
+  t.indexes <- [];
+  t.indexed_upto <- 0;
+  t.byte_size <- 0

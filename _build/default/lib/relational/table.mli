@@ -1,0 +1,58 @@
+(** In-memory tables.
+
+    A table owns its rows, an optional primary-key hash index, and any
+    number of named secondary indexes.  Insertion freezes no state: indexes
+    built before later insertions are invalidated and rebuilt lazily, which
+    matches the paper's bulk-load-then-query lifecycle ("updates are only
+    done in bulk every few weeks"). *)
+
+type t
+
+(** [create ~name ~schema ?primary_key ()] makes an empty table.
+    [primary_key] names a column; inserts enforce uniqueness on it. *)
+val create : name:string -> schema:Schema.t -> ?primary_key:string -> unit -> t
+
+(** [name t]. *)
+val name : t -> string
+
+(** [schema t]. *)
+val schema : t -> Schema.t
+
+(** [insert t tuple] appends a row.
+    @raise Invalid_argument on arity mismatch or duplicate primary key. *)
+val insert : t -> Tuple.t -> unit
+
+(** [insert_values t values] convenience for literal rows. *)
+val insert_values : t -> Value.t list -> unit
+
+(** [row_count t]. *)
+val row_count : t -> int
+
+(** [get t rowno] fetches by physical row number. *)
+val get : t -> int -> Tuple.t
+
+(** [rows t] is a snapshot array of all rows (shared tuples, fresh array). *)
+val rows : t -> Tuple.t array
+
+(** [iter f t] applies [f rowno tuple] in physical order. *)
+val iter : (int -> Tuple.t -> unit) -> t -> unit
+
+(** [find_by_pk t key] fetches the unique row whose primary-key column
+    equals [key], using the primary-key hash index.
+    @raise Invalid_argument if the table has no primary key. *)
+val find_by_pk : t -> Value.t -> Tuple.t option
+
+(** [primary_key t] is the primary-key column name, if any. *)
+val primary_key : t -> string option
+
+(** [ensure_index t ~kind ~cols] returns the index on the named columns,
+    building (or rebuilding after inserts) as needed.  Indexes are cached
+    per (kind, column list). *)
+val ensure_index : t -> kind:Index.kind -> cols:string list -> Index.t
+
+(** [byte_size t] is the estimated storage size: sum of row widths.  This is
+    the quantity reported in Table 1. *)
+val byte_size : t -> int
+
+(** [truncate t] removes all rows and indexes. *)
+val truncate : t -> unit

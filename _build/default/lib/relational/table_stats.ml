@@ -1,0 +1,109 @@
+type t = {
+  row_count : int;
+  histograms : Histogram.t array;
+  samples : Value.t array array;  (* bounded per-column sample for Contains *)
+  avg_width : float;
+}
+
+let sample_size = 512
+
+let compute table =
+  let n = Table.row_count table in
+  let arity = Schema.arity (Table.schema table) in
+  let columns = Array.init arity (fun _ -> Topo_util.Dyn.create ()) in
+  let width_sum = ref 0 in
+  Table.iter
+    (fun _ tuple ->
+      width_sum := !width_sum + Tuple.width tuple;
+      Array.iteri (fun c dyn -> Topo_util.Dyn.push dyn tuple.(c)) columns)
+    table;
+  let histograms = Array.map (fun dyn -> Histogram.build (Topo_util.Dyn.to_array dyn)) columns in
+  let samples =
+    Array.map
+      (fun dyn ->
+        let all = Topo_util.Dyn.to_array dyn in
+        if Array.length all <= sample_size then all
+        else
+          (* Deterministic systematic sample: every (n/size)-th row. *)
+          let step = Array.length all / sample_size in
+          Array.init sample_size (fun i -> all.(i * step)))
+      columns
+  in
+  {
+    row_count = n;
+    histograms;
+    samples;
+    avg_width = (if n = 0 then 0.0 else float_of_int !width_sum /. float_of_int n);
+  }
+
+let row_count t = t.row_count
+
+let histogram t col =
+  if col < 0 || col >= Array.length t.histograms then
+    invalid_arg (Printf.sprintf "Table_stats.histogram: column %d" col);
+  t.histograms.(col)
+
+let distinct t col = Histogram.distinct (histogram t col)
+
+let contains_selectivity t col keyword =
+  let sample = t.samples.(col) in
+  if Array.length sample = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter
+      (fun v ->
+        match v with
+        | Value.Str s -> if Expr.keyword_matches ~keyword ~text:s then incr hits
+        | Value.Null | Value.Int _ | Value.Float _ -> ())
+      sample;
+    float_of_int !hits /. float_of_int (Array.length sample)
+  end
+
+let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
+
+let rec selectivity t expr =
+  match expr with
+  | Expr.Const v -> if Value.is_null v || Value.equal v (Value.Int 0) then 0.0 else 1.0
+  | Expr.Col _ -> 0.5
+  | Expr.Cmp (op, Expr.Col c, Expr.Const v) | Expr.Cmp (op, Expr.Const v, Expr.Col c)
+    when c < Array.length t.histograms -> (
+      let h = t.histograms.(c) in
+      (* Flip the operator when the constant is on the left. *)
+      let op =
+        match expr with
+        | Expr.Cmp (_, Expr.Const _, Expr.Col _) -> (
+            match op with
+            | Expr.Lt -> Expr.Gt
+            | Expr.Le -> Expr.Ge
+            | Expr.Gt -> Expr.Lt
+            | Expr.Ge -> Expr.Le
+            | Expr.Eq | Expr.Ne -> op)
+        | _ -> op
+      in
+      match op with
+      | Expr.Eq -> Histogram.selectivity_eq h v
+      | Expr.Ne -> clamp01 (1.0 -. Histogram.selectivity_eq h v)
+      | Expr.Lt | Expr.Le -> Histogram.selectivity_range h ~hi:v ()
+      | Expr.Gt | Expr.Ge -> Histogram.selectivity_range h ~lo:v ())
+  | Expr.Cmp (Expr.Eq, _, _) -> 0.1
+  | Expr.Cmp ((Expr.Ne | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> 0.33
+  | Expr.And es -> List.fold_left (fun acc e -> acc *. selectivity t e) 1.0 es
+  | Expr.Or es ->
+      (* Inclusion under independence: 1 - prod (1 - s_i). *)
+      1.0 -. List.fold_left (fun acc e -> acc *. (1.0 -. selectivity t e)) 1.0 es
+  | Expr.Not e -> clamp01 (1.0 -. selectivity t e)
+  | Expr.Contains (Expr.Col c, kw) when c < Array.length t.samples -> contains_selectivity t c kw
+  | Expr.Contains (_, _) -> 0.1
+  | Expr.IsNull (Expr.Col c) when c < Array.length t.histograms ->
+      let h = t.histograms.(c) in
+      let tot = Histogram.total h + Histogram.null_count h in
+      if tot = 0 then 0.0 else float_of_int (Histogram.null_count h) /. float_of_int tot
+  | Expr.IsNull _ -> 0.01
+
+let predicate_selectivity t _schema expr = clamp01 (selectivity t expr)
+
+let join_selectivity ~left ~left_col ~right ~right_col =
+  let dl = max 1 (distinct left left_col) and dr = max 1 (distinct right right_col) in
+  1.0 /. float_of_int (max dl dr)
+
+let avg_row_width t = t.avg_width

@@ -1,0 +1,36 @@
+(** Table statistics for cost-based optimization.
+
+    These are the "regular database statistics" of Section 5.4.3: relation
+    cardinalities (N_i), index probe costs (I_i), local-predicate
+    selectivities (rho_i) and join selectivities (s_i).  Keyword-containment
+    selectivity has no closed form, so it is estimated on a bounded sample of
+    the column, like commercial systems estimate LIKE patterns. *)
+
+type t
+
+(** [compute table] scans the table once and builds histograms for every
+    column. *)
+val compute : Table.t -> t
+
+(** [row_count t]. *)
+val row_count : t -> int
+
+(** [histogram t col] for the column position.
+    @raise Invalid_argument when out of range. *)
+val histogram : t -> int -> Histogram.t
+
+(** [distinct t col] distinct non-null values in a column. *)
+val distinct : t -> int -> int
+
+(** [predicate_selectivity t schema expr] estimates the fraction of rows
+    satisfying [expr]: comparisons via histograms, [Contains] via the stored
+    sample, boolean combinations under independence. *)
+val predicate_selectivity : t -> Schema.t -> Expr.t -> float
+
+(** [join_selectivity ~left ~left_col ~right ~right_col] estimates the
+    selectivity of an equi-join as [1 / max(d_left, d_right)], the classic
+    System-R formula. *)
+val join_selectivity : left:t -> left_col:int -> right:t -> right_col:int -> float
+
+(** [avg_row_width t] in bytes. *)
+val avg_row_width : t -> float

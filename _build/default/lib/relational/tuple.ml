@@ -1,0 +1,27 @@
+type t = Value.t array
+
+let get t i = t.(i)
+
+let concat = Array.append
+
+let project t indices = Array.of_list (List.map (fun i -> t.(i)) indices)
+
+let key t indices = Array.map (fun i -> t.(i)) indices
+
+let compare_at indices a b =
+  let rec loop i =
+    if i >= Array.length indices then 0
+    else
+      let c = Value.compare a.(indices.(i)) b.(indices.(i)) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let width t = Array.fold_left (fun acc v -> acc + Value.width v) 0 t
+
+let to_string t =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"

@@ -1,0 +1,30 @@
+(** Tuples: immutable-by-convention value arrays aligned with a schema. *)
+
+type t = Value.t array
+
+(** [get t i]. *)
+val get : t -> int -> Value.t
+
+(** [concat a b] is the join of two tuples. *)
+val concat : t -> t -> t
+
+(** [project t indices] keeps the listed positions in order. *)
+val project : t -> int list -> t
+
+(** [key t indices] extracts the listed positions as a comparable key. *)
+val key : t -> int array -> Value.t array
+
+(** [compare_at indices a b] lexicographic comparison on positions. *)
+val compare_at : int array -> t -> t -> int
+
+(** [equal a b] full-width structural equality. *)
+val equal : t -> t -> bool
+
+(** [hash t] consistent with {!equal}. *)
+val hash : t -> int
+
+(** [width t] estimated bytes, for space accounting. *)
+val width : t -> int
+
+(** [to_string t] like ["(78, enzyme, mRNA)"]. *)
+val to_string : t -> string

@@ -1,0 +1,42 @@
+(** Runtime values of the relational engine.
+
+    The Biozon subset we model needs integers (object ids), strings
+    (descriptions, type attributes) and floats (topology scores); [Null]
+    rounds out the lattice for outer-ish operations.  Values are immutable
+    and totally ordered with [Null] smallest, then ints/floats numerically,
+    then strings. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+(** Total order used by sort operators and sorted indexes. *)
+val compare : t -> t -> int
+
+(** Structural equality consistent with {!compare}. *)
+val equal : t -> t -> bool
+
+(** Hash consistent with {!equal}; used by hash joins and hash indexes. *)
+val hash : t -> int
+
+(** [to_string v] renders for display ([Null] as ["NULL"]). *)
+val to_string : t -> string
+
+(** [as_int v] extracts an integer. @raise Invalid_argument otherwise. *)
+val as_int : t -> int
+
+(** [as_float v] extracts a float, coercing [Int]. @raise Invalid_argument
+    otherwise. *)
+val as_float : t -> float
+
+(** [as_string v] extracts a string. @raise Invalid_argument otherwise. *)
+val as_string : t -> string
+
+(** [is_null v]. *)
+val is_null : t -> bool
+
+(** [width v] is the estimated storage footprint in bytes, used for the
+    space accounting of Table 1 (ints 8, floats 8, strings length + 8). *)
+val width : t -> int

@@ -1,0 +1,102 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let with_capacity n = { data = (if n <= 0 then [||] else Array.make n (Obj.magic 0)); len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i name =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Dyn.%s: index %d out of bounds [0,%d)" name i t.len)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i v =
+  check t i "set";
+  t.data.(i) <- v
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap (Obj.magic 0) in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Dyn.pop: empty";
+  t.len <- t.len - 1;
+  let v = t.data.(t.len) in
+  t.data.(t.len) <- Obj.magic 0;
+  v
+
+let last t =
+  if t.len = 0 then invalid_arg "Dyn.last: empty";
+  t.data.(t.len - 1)
+
+let clear t =
+  (* Drop references so the GC can reclaim elements. *)
+  Array.fill t.data 0 t.len (Obj.magic 0);
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let find_opt p t =
+  let rec loop i =
+    if i >= t.len then None
+    else if p t.data.(i) then Some t.data.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let map f t =
+  let out = with_capacity t.len in
+  iter (fun v -> push out (f v)) t;
+  out
+
+let filter p t =
+  let out = create () in
+  iter (fun v -> if p v then push out v) t;
+  out
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

@@ -1,0 +1,74 @@
+(** Growable arrays.
+
+    OCaml 5.1's standard library has no [Dynarray]; tables in the relational
+    substrate and edge lists in the graph kit need amortized O(1) append with
+    O(1) random access, so we provide one.  Not thread-safe. *)
+
+type 'a t
+
+(** [create ()] is an empty dynamic array. *)
+val create : unit -> 'a t
+
+(** [with_capacity n] is empty but preallocated for [n] elements. *)
+val with_capacity : int -> 'a t
+
+(** [length t] is the number of elements. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [get t i].  @raise Invalid_argument when [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set t i v].  @raise Invalid_argument when [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push t v] appends [v]. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] removes and returns the last element.
+    @raise Invalid_argument when empty. *)
+val pop : 'a t -> 'a
+
+(** [last t] is the last element. @raise Invalid_argument when empty. *)
+val last : 'a t -> 'a
+
+(** [clear t] removes every element (capacity retained). *)
+val clear : 'a t -> unit
+
+(** [iter f t] applies [f] in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f t] applies [f i v] in index order. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold f acc t] folds left in index order. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [exists p t] is true when some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [find_opt p t] is the first element satisfying [p]. *)
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+(** [to_array t] is a fresh array of the contents. *)
+val to_array : 'a t -> 'a array
+
+(** [to_list t] is the contents in index order. *)
+val to_list : 'a t -> 'a list
+
+(** [of_array a] copies [a]. *)
+val of_array : 'a array -> 'a t
+
+(** [of_list l] copies [l]. *)
+val of_list : 'a list -> 'a t
+
+(** [map f t] is a fresh dynamic array of images. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [filter p t] keeps the satisfying elements, in order. *)
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** [sort cmp t] sorts in place. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit

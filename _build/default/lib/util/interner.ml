@@ -1,0 +1,22 @@
+type t = { ids : (string, int) Hashtbl.t; names : string Dyn.t }
+
+let create () = { ids = Hashtbl.create 64; names = Dyn.create () }
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = Dyn.length t.names in
+      Hashtbl.add t.ids s id;
+      Dyn.push t.names s;
+      id
+
+let find_opt t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= Dyn.length t.names then invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
+  Dyn.get t.names id
+
+let count t = Dyn.length t.names
+
+let iter f t = Dyn.iteri f t.names

@@ -1,0 +1,24 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let t1 = Unix.gettimeofday () in
+  (v, t1 -. t0)
+
+let time_ms f =
+  let v, s = time f in
+  (v, s *. 1000.0)
+
+let repeat_median ~runs f =
+  if runs <= 0 then invalid_arg "Timer.repeat_median: runs must be positive";
+  let times = Array.make runs 0.0 in
+  let result = ref None in
+  for i = 0 to runs - 1 do
+    let v, s = time f in
+    times.(i) <- s;
+    result := Some v
+  done;
+  Array.sort compare times;
+  let median = times.(runs / 2) in
+  match !result with
+  | Some v -> (v, median)
+  | None -> assert false

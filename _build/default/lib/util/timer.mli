@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the experiment harness. *)
+
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_ms f] like {!time} but milliseconds. *)
+val time_ms : (unit -> 'a) -> 'a * float
+
+(** [repeat_median ~runs f] runs [f] [runs] times and returns the last result
+    together with the median elapsed seconds; used where the paper reports
+    "the average of multiple runs" on a warm cache. *)
+val repeat_median : runs:int -> (unit -> 'a) -> 'a * float

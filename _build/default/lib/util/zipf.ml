@@ -1,0 +1,36 @@
+type t = { n : int; cdf : float array; pmf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pmf = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf; pmf }
+
+let sample t prng =
+  let u = Prng.float prng in
+  (* Smallest index whose cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1) + 1
+
+let pmf t r =
+  if r < 1 || r > t.n then 0.0 else t.pmf.(r - 1)
+
+let support t = t.n
+
+let expected_frequencies t ~total =
+  Array.map (fun p -> p *. float_of_int total) t.pmf

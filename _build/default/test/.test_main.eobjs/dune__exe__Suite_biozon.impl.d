@@ -1,0 +1,1 @@
+test/suite_biozon.ml: Alcotest Biozon Catalog Expr Float Hashtbl List Option Printf Schema Sql Table Topo_graph Topo_sql Topo_util Tuple Value

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Analysis Array Biozon Compute Context Engine Hashtbl Instances Lazy List Option Printf Query Ranking Store String Topo_core Topo_graph Topo_sql Topo_util Topology Weak

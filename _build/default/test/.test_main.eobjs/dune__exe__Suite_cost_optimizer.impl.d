@@ -1,0 +1,1 @@
+test/suite_cost_optimizer.ml: Alcotest Array Catalog Dgj_cost Expr Float Histogram List Optimizer Physical Printf QCheck QCheck_alcotest Schema String Table Table_stats Topo_sql Topo_util Value

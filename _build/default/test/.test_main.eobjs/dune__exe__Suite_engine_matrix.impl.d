@@ -1,0 +1,1 @@
+test/suite_engine_matrix.ml: Alcotest Array Biozon Compute Context Engine Hashtbl List Option Printf QCheck QCheck_alcotest Query Ranking Store String Topo_core Topo_sql Topo_util Topology Weak

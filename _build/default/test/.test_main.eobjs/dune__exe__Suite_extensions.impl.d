@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Array Biozon Compare Context Engine Filename Fun List Nquery Printf QCheck QCheck_alcotest Query String Sys Topo_core Topo_graph Topo_sql Topology Unix

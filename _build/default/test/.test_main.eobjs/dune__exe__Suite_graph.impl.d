@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Biozon Canon Data_graph Glue Iso Lgraph List QCheck QCheck_alcotest Schema_graph Topo_graph Topo_util

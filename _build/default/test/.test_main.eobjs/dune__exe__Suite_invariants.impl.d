@@ -1,0 +1,1 @@
+test/suite_invariants.ml: Alcotest Biozon Compute Context Engine List Nquery QCheck QCheck_alcotest Query Store Topo_core Topo_graph Topo_sql Topo_util

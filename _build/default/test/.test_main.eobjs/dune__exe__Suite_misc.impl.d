@@ -1,0 +1,1 @@
+test/suite_misc.ml: Alcotest Array Biozon Compute Context Engine Float Hashtbl List Printf Query String Topo_core Topo_graph Topo_util

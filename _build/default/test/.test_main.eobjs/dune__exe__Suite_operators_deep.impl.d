@@ -1,0 +1,1 @@
+test/suite_operators_deep.ml: Alcotest Array Biozon Catalog Expr Iterator List Op_basic Op_dgj Op_join Op_scan Physical Printf QCheck QCheck_alcotest Schema String Table Topo_core Topo_sql Value

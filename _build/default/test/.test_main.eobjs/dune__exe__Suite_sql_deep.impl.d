@@ -1,0 +1,1 @@
+test/suite_sql_deep.ml: Alcotest Array Biozon Catalog Dump Expr Filename Fun List Schema Sql Sql_ast Sql_binder Sql_lexer Sql_parser String Sys Table Topo_core Topo_sql Tuple Unix Value

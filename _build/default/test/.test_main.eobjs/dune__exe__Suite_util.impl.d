@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Dyn Fun Int Interner List Pretty Prng QCheck QCheck_alcotest Set String Timer Topo_util Zipf

@@ -1,0 +1,300 @@
+(* Deep tests of the cost model (Dgj_cost) and the optimizer: closed-form
+   identities checked against brute force, monotonicity properties, and
+   plan-choice consistency on randomized mini-databases. *)
+
+open Topo_sql
+
+(* --- Dgj_cost --------------------------------------------------------------- *)
+
+let mk_level ?(n_inner = 100) ?(probe_cost = 1.0) ?(pred_sel = 0.5) ?(join_sel = 0.01) () =
+  { Dgj_cost.n_inner; probe_cost; pred_sel; join_sel }
+
+(* Brute-force S(h, q) = sum_{j=1}^{h} (j-1) q^{j-1} to validate the closed
+   form via expected_cost identities on single-level stacks. *)
+let brute_ec ~x ~delta ~probe ~h =
+  (* EC(h) = sum_j x (1-x)^{j-1} [(j-1) delta + probe]  for one level. *)
+  let acc = ref 0.0 in
+  for j = 1 to h do
+    acc := !acc +. (x *. ((1.0 -. x) ** float_of_int (j - 1)) *. ((float_of_int (j - 1) *. delta) +. probe))
+  done;
+  !acc
+
+let test_single_level_ec_matches_brute_force () =
+  List.iter
+    (fun (sel, card) ->
+      let level = mk_level ~pred_sel:sel () in
+      let input = { Dgj_cost.cards = [| card |]; levels = [| level |]; k = 1; per_group_overhead = 0.0 } in
+      let params = Dgj_cost.group_params input in
+      let _, _, ec = params.(0) in
+      (* With K = 1 inner match per tuple and one level, x1 = sel and
+         delta1 = probe_cost. *)
+      let expected = brute_ec ~x:sel ~delta:1.0 ~probe:1.0 ~h:card in
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "sel=%.2f card=%d" sel card) expected ec)
+    [ (0.5, 1); (0.5, 10); (0.1, 50); (0.9, 3); (0.25, 200) ]
+
+let test_np_formula () =
+  let level = mk_level ~pred_sel:0.3 () in
+  let input = { Dgj_cost.cards = [| 7 |]; levels = [| level |]; k = 1; per_group_overhead = 0.0 } in
+  let np, _, _ = (Dgj_cost.group_params input).(0) in
+  Alcotest.(check (float 1e-9)) "np = (1-x1)^card" (Float.pow 0.7 7.0) np
+
+let test_expected_cost_zero_cases () =
+  let level = mk_level () in
+  let zero_k = { Dgj_cost.cards = [| 5 |]; levels = [| level |]; k = 0; per_group_overhead = 1.0 } in
+  Alcotest.(check (float 1e-9)) "k=0" 0.0 (Dgj_cost.expected_cost zero_k);
+  let no_groups = { Dgj_cost.cards = [||]; levels = [| level |]; k = 3; per_group_overhead = 1.0 } in
+  Alcotest.(check (float 1e-9)) "m=0" 0.0 (Dgj_cost.expected_cost no_groups)
+
+let test_expected_groups_bounds () =
+  let level = mk_level ~pred_sel:0.4 () in
+  let input = { Dgj_cost.cards = Array.make 30 5; levels = [| level |]; k = 4; per_group_overhead = 0.0 } in
+  let g = Dgj_cost.expected_groups_examined input in
+  Alcotest.(check bool) (Printf.sprintf "k <= %g <= m" g) true (g >= 4.0 && g <= 30.0)
+
+let test_overhead_linear () =
+  let level = mk_level ~pred_sel:0.9 () in
+  let input oh = { Dgj_cost.cards = Array.make 10 3; levels = [| level |]; k = 2; per_group_overhead = oh } in
+  let c0 = Dgj_cost.expected_cost (input 0.0) in
+  let c5 = Dgj_cost.expected_cost (input 5.0) in
+  let groups = Dgj_cost.expected_groups_examined (input 0.0) in
+  Alcotest.(check (float 1e-6)) "overhead scales with groups examined" (c0 +. (5.0 *. groups)) c5
+
+let prop_cost_monotone_in_selectivity =
+  QCheck.Test.make ~name:"cost decreases as predicates get less selective" ~count:100
+    QCheck.(pair (float_range 0.05 0.45) (float_range 0.5 0.95))
+    (fun (lo, hi) ->
+      let cost sel =
+        Dgj_cost.expected_cost
+          {
+            Dgj_cost.cards = Array.make 40 6;
+            levels = [| mk_level ~pred_sel:sel () |];
+            k = 5;
+            per_group_overhead = 1.0;
+          }
+      in
+      cost lo >= cost hi)
+
+let prop_cost_monotone_in_k =
+  QCheck.Test.make ~name:"cost increases with k" ~count:100
+    QCheck.(pair (int_range 1 10) (int_range 11 30))
+    (fun (k1, k2) ->
+      let cost k =
+        Dgj_cost.expected_cost
+          {
+            Dgj_cost.cards = Array.make 50 4;
+            levels = [| mk_level ~pred_sel:0.3 () |];
+            k;
+            per_group_overhead = 1.0;
+          }
+      in
+      cost k1 <= cost k2)
+
+let test_hit_probability_two_levels_k1 () =
+  (* K = 1 at both levels: x1 = rho1 * rho2 exactly. *)
+  let levels = [| mk_level ~pred_sel:0.4 ~join_sel:0.005 (); mk_level ~pred_sel:0.7 ~join_sel:0.005 () |] in
+  let x = Dgj_cost.hit_probabilities levels in
+  Alcotest.(check (float 1e-9)) "x1" (0.4 *. 0.7) x.(0)
+
+let test_hit_probability_fanout () =
+  (* K = 4 matches, sel = 0.5: x = 1 - (1-0.5)^j summed over binomial;
+     equals 1 - (1 - 0.5)^4 when x_{next} = 1 for all surviving tuples:
+     prob at least one of 4 passes = 1 - 0.5^4. *)
+  let levels = [| mk_level ~n_inner:400 ~pred_sel:0.5 ~join_sel:0.01 () |] in
+  let x = Dgj_cost.hit_probabilities levels in
+  Alcotest.(check (float 1e-9)) "1 - q^K" (1.0 -. (0.5 ** 4.0)) x.(0)
+
+let test_probe_costs_accumulate () =
+  let levels = [| mk_level ~probe_cost:2.0 ~pred_sel:0.5 ~join_sel:0.01 (); mk_level ~probe_cost:3.0 () |] in
+  let delta = Dgj_cost.probe_costs levels in
+  (* delta2 = 3; delta1 = 2 + 0.5 * K1 * delta2 with K1 = 1. *)
+  Alcotest.(check (float 1e-9)) "delta2" 3.0 delta.(1);
+  Alcotest.(check (float 1e-9)) "delta1" (2.0 +. (0.5 *. 1.0 *. 3.0)) delta.(0)
+
+(* --- Optimizer on randomized mini-databases ---------------------------------- *)
+
+let random_spec_db seed =
+  let prng = Topo_util.Prng.create seed in
+  let cat = Catalog.create () in
+  let g =
+    Catalog.create_table cat ~name:"G"
+      ~schema:
+        (Schema.make
+           [ { Schema.name = "TID"; ty = Schema.TInt }; { Schema.name = "score"; ty = Schema.TFloat } ])
+      ~primary_key:"TID" ()
+  in
+  let f =
+    Catalog.create_table cat ~name:"F"
+      ~schema:
+        (Schema.make [ { Schema.name = "TID"; ty = Schema.TInt }; { Schema.name = "E"; ty = Schema.TInt } ])
+      ()
+  in
+  let d =
+    Catalog.create_table cat ~name:"D"
+      ~schema:
+        (Schema.make [ { Schema.name = "ID"; ty = Schema.TInt }; { Schema.name = "v"; ty = Schema.TInt } ])
+      ~primary_key:"ID" ()
+  in
+  let n_groups = Topo_util.Prng.int_in_range prng ~lo:3 ~hi:25 in
+  let next_e = ref 1000 in
+  for tid = 1 to n_groups do
+    (* Distinct scores so every method agrees on order. *)
+    Table.insert_values g [ Value.Int tid; Value.Float (float_of_int (tid * 10) +. Topo_util.Prng.float prng) ];
+    let members = Topo_util.Prng.int_in_range prng ~lo:0 ~hi:12 in
+    for _ = 1 to members do
+      let e = !next_e in
+      incr next_e;
+      Table.insert_values f [ Value.Int tid; Value.Int e ];
+      Table.insert_values d [ Value.Int e; Value.Int (Topo_util.Prng.int prng 4) ]
+    done
+  done;
+  cat
+
+let spec_for k =
+  {
+    Optimizer.group_table = "G";
+    group_key = "TID";
+    score_col = "score";
+    group_pred = None;
+    fact_table = "F";
+    fact_group_col = "TID";
+    dims =
+      [
+        {
+          Optimizer.dim_table = "D";
+          dim_alias = "D1";
+          dim_key = "ID";
+          fact_col = "E";
+          dim_pred = Some (Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (Value.Int 0)));
+        };
+      ];
+    k;
+  }
+
+let naive_topk cat k =
+  (* Reference evaluation: for each group (by descending score), check if
+     any member joins a v=0 dimension row. *)
+  let g = Catalog.find cat "G" and f = Catalog.find cat "F" and d = Catalog.find cat "D" in
+  let groups = ref [] in
+  Table.iter
+    (fun _ t -> groups := (Value.as_int t.(0), Value.as_float t.(1)) :: !groups)
+    g;
+  let groups = List.sort (fun (_, a) (_, b) -> Float.compare b a) !groups in
+  let qualifies tid =
+    let found = ref false in
+    Table.iter
+      (fun _ t ->
+        if Value.as_int t.(0) = tid then
+          match Table.find_by_pk d t.(1) with
+          | Some dt -> if Value.as_int dt.(1) = 0 then found := true
+          | None -> ())
+      f;
+    !found
+  in
+  List.filter (fun (tid, _) -> qualifies tid) groups |> List.filteri (fun i _ -> i < k)
+
+let prop_optimizer_strategies_agree =
+  QCheck.Test.make ~name:"regular/ET/naive top-k agree on random databases" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 1 8))
+    (fun (seed, k) ->
+      let cat = random_spec_db seed in
+      let spec = spec_for k in
+      let expected = naive_topk cat k in
+      let reg_plan, _ = Optimizer.regular_plan cat spec in
+      let reg =
+        Physical.run cat reg_plan
+        |> List.map (fun t -> (Value.as_int t.(0), Value.as_float t.(1)))
+      in
+      let et =
+        match Optimizer.best_et_plan cat spec with
+        | Some (plan, _) ->
+            let decision =
+              { Optimizer.plan; strategy = Optimizer.Early_termination; regular_cost = 0.0; et_cost = 0.0; explain = "" }
+            in
+            Optimizer.run_topk cat spec decision
+            |> List.map (fun (v, s) -> (Value.as_int v, s))
+        | None -> []
+      in
+      reg = expected && et = expected)
+
+let test_choose_reports_both_costs () =
+  let cat = random_spec_db 99 in
+  let d = Optimizer.choose cat (spec_for 3) in
+  Alcotest.(check bool) "finite costs" true
+    (Float.is_finite d.Optimizer.regular_cost && Float.is_finite d.Optimizer.et_cost);
+  Alcotest.(check bool) "explain non-empty" true (String.length d.Optimizer.explain > 0)
+
+(* --- histogram corner cases --------------------------------------------------- *)
+
+let test_histogram_range_outside () =
+  let h = Histogram.build (Array.init 50 (fun i -> Value.Int i)) in
+  Alcotest.(check (float 1e-9)) "above max" 0.0 (Histogram.selectivity_range h ~lo:(Value.Int 100) ());
+  Alcotest.(check (float 1e-9)) "below min" 0.0 (Histogram.selectivity_range h ~hi:(Value.Int (-1)) ());
+  Alcotest.(check (float 0.01)) "full" 1.0 (Histogram.selectivity_range h ());
+  Alcotest.(check (float 1e-9)) "missing eq" 0.0 (Histogram.selectivity_eq h (Value.Int 999))
+
+let test_histogram_heavy_hitter_exact () =
+  (* 900 copies of 1 and 100 distinct others: MCV tracking must make the
+     heavy hitter's selectivity exact. *)
+  let values = Array.init 1000 (fun i -> Value.Int (if i < 900 then 1 else i)) in
+  let h = Histogram.build values in
+  Alcotest.(check (float 1e-9)) "heavy hitter" 0.9 (Histogram.selectivity_eq h (Value.Int 1))
+
+let test_histogram_min_max () =
+  let h = Histogram.build [| Value.Int 5; Value.Int 2; Value.Int 9 |] in
+  Alcotest.(check bool) "min" true (Histogram.min_value h = Some (Value.Int 2));
+  Alcotest.(check bool) "max" true (Histogram.max_value h = Some (Value.Int 9))
+
+let prop_predicate_selectivity_bounded =
+  QCheck.Test.make ~name:"predicate selectivity stays in [0,1]" ~count:200
+    QCheck.(triple (int_range 0 1000) (int_range 0 20) (int_range 0 3))
+    (fun (seed, c, shape) ->
+      let prng = Topo_util.Prng.create seed in
+      let cat = Catalog.create () in
+      let t =
+        Catalog.create_table cat ~name:"X"
+          ~schema:(Schema.make [ { Schema.name = "a"; ty = Schema.TInt } ])
+          ()
+      in
+      for _ = 1 to 50 do
+        Table.insert_values t [ Value.Int (Topo_util.Prng.int prng 10) ]
+      done;
+      let stats = Catalog.stats cat "X" in
+      let base = Expr.Cmp (Expr.Le, Expr.Col 0, Expr.Const (Value.Int c)) in
+      let expr =
+        match shape with
+        | 0 -> base
+        | 1 -> Expr.Not base
+        | 2 -> Expr.And [ base; Expr.Cmp (Expr.Ge, Expr.Col 0, Expr.Const (Value.Int 2)) ]
+        | _ -> Expr.Or [ base; Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Const (Value.Int 0)) ]
+      in
+      let s = Table_stats.predicate_selectivity stats (Table.schema t) expr in
+      s >= 0.0 && s <= 1.0)
+
+let suites =
+  [
+    ( "cost.model",
+      [
+        Alcotest.test_case "EC matches brute force" `Quick test_single_level_ec_matches_brute_force;
+        Alcotest.test_case "np formula" `Quick test_np_formula;
+        Alcotest.test_case "zero cases" `Quick test_expected_cost_zero_cases;
+        Alcotest.test_case "groups-examined bounds" `Quick test_expected_groups_bounds;
+        Alcotest.test_case "overhead linear" `Quick test_overhead_linear;
+        Alcotest.test_case "x1 two levels" `Quick test_hit_probability_two_levels_k1;
+        Alcotest.test_case "x1 fanout" `Quick test_hit_probability_fanout;
+        Alcotest.test_case "probe costs accumulate" `Quick test_probe_costs_accumulate;
+        QCheck_alcotest.to_alcotest prop_cost_monotone_in_selectivity;
+        QCheck_alcotest.to_alcotest prop_cost_monotone_in_k;
+      ] );
+    ( "cost.optimizer",
+      [
+        QCheck_alcotest.to_alcotest prop_optimizer_strategies_agree;
+        Alcotest.test_case "choose reports costs" `Quick test_choose_reports_both_costs;
+      ] );
+    ( "cost.histogram",
+      [
+        Alcotest.test_case "ranges outside domain" `Quick test_histogram_range_outside;
+        Alcotest.test_case "heavy hitter exact" `Quick test_histogram_heavy_hitter_exact;
+        Alcotest.test_case "min/max" `Quick test_histogram_min_max;
+        QCheck_alcotest.to_alcotest prop_predicate_selectivity_bounded;
+      ] );
+  ]
