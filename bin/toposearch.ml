@@ -6,7 +6,8 @@
      topologies  list a pair's topologies ranked by a scheme
      schema      show the Biozon schema and schema paths between two types
      enumerate   count all possible topologies between two types (Sec 3.1)
-     sql         evaluate a SQL query over the generated instance *)
+     sql         evaluate a SQL query over the generated instance
+     check       lint SQL queries with the physical-plan verifier *)
 
 open Cmdliner
 module Engine = Topo_core.Engine
@@ -220,6 +221,83 @@ let sql_cmd =
     Term.(const sql_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                                *)
+
+(* Split a `;`-separated script into statements, dropping `--` comments
+   and blank statements. *)
+let strip_comment line =
+  let n = String.length line in
+  let rec find i =
+    if i + 1 >= n then None else if line.[i] = '-' && line.[i + 1] = '-' then Some i else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub line 0 i | None -> line
+
+let split_statements text =
+  String.split_on_char '\n' text
+  |> List.map strip_comment
+  |> String.concat "\n"
+  |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let check_run scale seed l threshold t1 t2 query_text file =
+  let queries =
+    match (query_text, file) with
+    | Some q, None -> split_statements q
+    | None, Some path -> (
+        match open_in path with
+        | ic ->
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            split_statements text
+        | exception Sys_error msg ->
+            prerr_endline msg;
+            exit 2)
+    | Some _, Some _ ->
+        prerr_endline "pass either a SQL argument or --file, not both";
+        exit 2
+    | None, None ->
+        prerr_endline "pass a SQL query or --file FILE";
+        exit 2
+  in
+  let catalog = make_instance scale seed in
+  let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let failures = ref 0 in
+  List.iter
+    (fun q ->
+      Printf.printf "-- %s\n" q;
+      match Topo_sql.Sql.lint catalog q with
+      | [] -> print_endline "ok"
+      | violations ->
+          incr failures;
+          print_endline (Topo_sql.Plan_check.report violations)
+      | exception Topo_sql.Sql_parser.Parse_error msg ->
+          incr failures;
+          Printf.printf "parse error: %s\n" msg
+      | exception Topo_sql.Sql_lexer.Lex_error (msg, pos) ->
+          incr failures;
+          Printf.printf "lex error at %d: %s\n" pos msg
+      | exception Topo_sql.Sql_binder.Bind_error msg ->
+          incr failures;
+          Printf.printf "bind error: %s\n" msg)
+    queries;
+  Printf.printf "%d quer%s checked, %d with violations\n" (List.length queries)
+    (if List.length queries = 1 then "y" else "ies")
+    !failures;
+  if !failures = 0 then 0 else 1
+
+let check_cmd =
+  let text = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query (or queries, `;`-separated).") in
+  let file = Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc:"Read `;`-separated queries from a file instead.") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint SQL queries: bind each one and run the physical-plan verifier (schema/arity typing, \
+          ordering and grouping invariants) without executing.  Exits 1 when any query has \
+          violations.")
+    Term.(const check_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text $ file)
+
+(* ------------------------------------------------------------------ *)
 (* nquery                                                               *)
 
 let nquery_run scale seed l threshold entities kws max_tuples =
@@ -294,6 +372,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "toposearch" ~version:"1.0.0"
        ~doc:"Topology search over biological databases (Guo, Shanmugasundaram, Yona).")
-    [ demo_cmd; query_cmd; topologies_cmd; schema_cmd; enumerate_cmd; sql_cmd; nquery_cmd; dump_cmd ]
+    [ demo_cmd; query_cmd; topologies_cmd; schema_cmd; enumerate_cmd; sql_cmd; check_cmd; nquery_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,34 @@
+-- Example queries linted by `dune build @lint` (and runnable through
+-- `toposearch sql` / examples/sql_console.exe).  Each statement is bound
+-- to a physical plan and checked by the plan verifier without executing.
+
+-- Keyword selection over a base entity table (Figure 3 flavor).
+SELECT P.ID, P.desc
+FROM Protein P
+WHERE P.desc.ct('enzyme');
+
+-- Full-Top query processing (Section 3.2): the single AllTops join.
+SELECT DISTINCT AT.TID
+FROM Protein P, DNA D, AllTops_Protein_DNA AT
+WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+  AND P.ID = AT.E1 AND D.ID = AT.E2;
+
+-- SQL1's lower sub-query: base-data re-derivation of a pruned topology
+-- with the ExcpTops anti-join.
+SELECT DISTINCT P.ID, D.ID
+FROM Protein P, DNA D, Uni_encodes JOIN Uni_contains as PUD
+WHERE P.desc.ct('kinase') AND P.ID = PUD.PID AND D.ID = PUD.DID
+  AND NOT EXISTS (SELECT 1 FROM ExcpTops_Protein_DNA e
+                  WHERE e.E1 = P.ID AND e.E2 = D.ID);
+
+-- SQL4: the top-k head of Fast-Top-k over LeftTops and TopInfo.
+SELECT DISTINCT LT.TID, Top.score_freq AS SCORE
+FROM Protein P, DNA D, LeftTops_Protein_DNA LT, TopInfo_Protein_DNA Top
+WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+  AND P.ID = LT.E1 AND D.ID = LT.E2 AND Top.TID = LT.TID
+ORDER BY SCORE DESC FETCH FIRST 10 ROWS ONLY;
+
+-- Aggregation over the topology statistics table.
+SELECT Top.simple, COUNT(*) AS n, MAX(Top.freq) AS max_freq
+FROM TopInfo_Protein_DNA Top
+GROUP BY Top.simple;

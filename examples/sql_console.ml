@@ -37,6 +37,8 @@ let () =
     | exception Topo_sql.Sql_parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
     | exception Topo_sql.Sql_binder.Bind_error msg -> Printf.printf "bind error: %s\n" msg
     | exception Topo_sql.Sql_lexer.Lex_error (msg, pos) -> Printf.printf "lex error at %d: %s\n" pos msg
+    | exception Topo_sql.Plan_check.Plan_error violations ->
+        Printf.printf "plan verifier rejected the bound plan:\n%s\n" (Topo_sql.Plan_check.report violations)
   in
   if interactive then begin
     print_endline "tables:";

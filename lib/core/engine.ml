@@ -77,25 +77,28 @@ type result = {
   strategy : Topo_sql.Optimizer.strategy option;
 }
 
-let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls () =
+let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls ?(verify_plans = false) () =
   let aligned = Methods.align t.ctx query in
+  let check = verify_plans in
   let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
   let plain l = List.map (fun tid -> (tid, None)) l in
   let start = Unix.gettimeofday () in
   let ranked, strategy =
     match method_ with
     | Sql -> (plain (Methods.sql_method t.ctx aligned), None)
-    | Full_top -> (plain (Methods.full_top t.ctx aligned), None)
-    | Fast_top -> (plain (Methods.fast_top t.ctx aligned), None)
-    | Full_top_k -> (with_scores (Methods.full_top_k t.ctx aligned ~scheme ~k), None)
-    | Fast_top_k -> (with_scores (Methods.fast_top_k t.ctx aligned ~scheme ~k), None)
-    | Full_top_k_et -> (with_scores (Methods.full_top_k_et t.ctx aligned ~scheme ~k ?impls ()), None)
-    | Fast_top_k_et -> (with_scores (Methods.fast_top_k_et t.ctx aligned ~scheme ~k ?impls ()), None)
+    | Full_top -> (plain (Methods.full_top ~check t.ctx aligned), None)
+    | Fast_top -> (plain (Methods.fast_top ~check t.ctx aligned), None)
+    | Full_top_k -> (with_scores (Methods.full_top_k ~check t.ctx aligned ~scheme ~k), None)
+    | Fast_top_k -> (with_scores (Methods.fast_top_k ~check t.ctx aligned ~scheme ~k), None)
+    | Full_top_k_et ->
+        (with_scores (Methods.full_top_k_et ~check t.ctx aligned ~scheme ~k ?impls ()), None)
+    | Fast_top_k_et ->
+        (with_scores (Methods.fast_top_k_et ~check t.ctx aligned ~scheme ~k ?impls ()), None)
     | Full_top_k_opt ->
-        let results, strategy = Methods.full_top_k_opt t.ctx aligned ~scheme ~k in
+        let results, strategy = Methods.full_top_k_opt ~check t.ctx aligned ~scheme ~k in
         (with_scores results, Some strategy)
     | Fast_top_k_opt ->
-        let results, strategy = Methods.fast_top_k_opt t.ctx aligned ~scheme ~k in
+        let results, strategy = Methods.fast_top_k_opt ~check t.ctx aligned ~scheme ~k in
         (with_scores results, Some strategy)
   in
   let elapsed_s = Unix.gettimeofday () -. start in

@@ -51,9 +51,14 @@ type result = {
   strategy : Topo_sql.Optimizer.strategy option;  (** what an -Opt method chose *)
 }
 
-(** [run t query ~method_ ?scheme ?k ?impls ()] evaluates.  [scheme]
-    defaults to [Freq], [k] to 10; both are ignored by non-top-k methods.
-    [impls] pins DGJ implementations for the -ET methods. *)
+(** [run t query ~method_ ?scheme ?k ?impls ?verify_plans ()] evaluates.
+    [scheme] defaults to [Freq], [k] to 10; both are ignored by non-top-k
+    methods.  [impls] pins DGJ implementations for the -ET methods.
+    [verify_plans] (default false) checks every physical plan the method
+    builds with {!Topo_sql.Plan_check} before executing it — raising
+    {!Topo_sql.Plan_check.Plan_error} on a malformed plan — and runs -ET
+    iterator trees under the {!Topo_sql.Iterator_check} protocol
+    checker. *)
 val run :
   t ->
   Query.t ->
@@ -61,6 +66,7 @@ val run :
   ?scheme:Ranking.scheme ->
   ?k:int ->
   ?impls:[ `I | `H ] list ->
+  ?verify_plans:bool ->
   unit ->
   result
 

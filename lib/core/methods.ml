@@ -47,7 +47,8 @@ let tids_plan ctx aligned ~fact =
   ignore a_arity;
   Physical.Distinct (Physical.Project { input = join_b; cols = [ 2 ] })
 
-let run_tids ctx plan =
+let run_tids ?(check = false) ctx plan =
+  if check then Plan_check.check ctx.Context.catalog plan;
   Physical.run ctx.Context.catalog plan
   |> List.map (fun tuple -> Value.as_int tuple.(0))
   |> List.sort compare
@@ -101,10 +102,11 @@ let pruned_check ctx aligned p = Option.is_some (pruned_find ctx aligned p)
 (* ------------------------------------------------------------------ *)
 (* Non-top-k methods                                                   *)
 
-let full_top ctx aligned = run_tids ctx (tids_plan ctx aligned ~fact:aligned.store.Store.alltops)
+let full_top ?check ctx aligned =
+  run_tids ?check ctx (tids_plan ctx aligned ~fact:aligned.store.Store.alltops)
 
-let fast_top ctx aligned =
-  let base = run_tids ctx (tids_plan ctx aligned ~fact:aligned.store.Store.lefttops) in
+let fast_top ?check ctx aligned =
+  let base = run_tids ?check ctx (tids_plan ctx aligned ~fact:aligned.store.Store.lefttops) in
   let extra =
     List.filter_map
       (fun (p : Topology.t) -> if pruned_check ctx aligned p then Some p.Topology.tid else None)
@@ -228,10 +230,13 @@ let merge_with_pruned ctx aligned ~scheme ~k ~next_witness =
 
 (* Pull-based driver over a DGJ stack: yields one (tid, score) per group
    that produces a witness, in group (score) order. *)
-let et_witness_stream ctx aligned ~fact ~scheme ~impls =
+let et_witness_stream ?(check = false) ctx aligned ~fact ~scheme ~impls =
   let spec = optimizer_spec ctx aligned ~fact ~scheme ~k:max_int in
   let plan = Optimizer.et_plan ctx.Context.catalog spec ~impls ~dim_order:[ 0; 1 ] in
-  let it = Physical.lower ctx.Context.catalog plan in
+  if check then Plan_check.check ctx.Context.catalog plan;
+  let it =
+    (if check then Physical.lower_checked else Physical.lower) ctx.Context.catalog plan
+  in
   it.Iterator.open_ ();
   let topinfo_schema = Table.schema (Catalog.find ctx.Context.catalog aligned.store.Store.topinfo) in
   let tid_pos = Schema.index_of topinfo_schema "TID" in
@@ -252,29 +257,30 @@ let et_witness_stream ctx aligned ~fact ~scheme ~impls =
 
 let default_impls = [ `I; `I; `I ]
 
-let full_top_k_et ctx aligned ~scheme ~k ?(impls = default_impls) () =
-  let next = et_witness_stream ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls in
+let full_top_k_et ?check ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next = et_witness_stream ?check ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls in
   let results = ref [] in
   let rec take n = if n > 0 then (match next () with None -> () | Some r -> results := r :: !results; take (n - 1)) in
   take k;
   sort_desc (List.rev !results)
 
-let fast_top_k_et ctx aligned ~scheme ~k ?(impls = default_impls) () =
-  let next = et_witness_stream ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls in
+let fast_top_k_et ?check ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next = et_witness_stream ?check ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls in
   merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next
 
-let regular_topk ctx aligned ~fact ~scheme ~k =
+let regular_topk ?(check = false) ctx aligned ~fact ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact ~scheme ~k in
-  let plan, _cost = Optimizer.regular_plan ctx.Context.catalog spec in
+  let plan, _cost = Optimizer.regular_plan ~check ctx.Context.catalog spec in
   Physical.run ctx.Context.catalog plan
   |> List.map (fun tuple -> (Value.as_int tuple.(0), Value.as_float tuple.(1)))
 
-let full_top_k ctx aligned ~scheme ~k = regular_topk ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
+let full_top_k ?check ctx aligned ~scheme ~k =
+  regular_topk ?check ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
 
-let fast_top_k ctx aligned ~scheme ~k =
+let fast_top_k ?check ctx aligned ~scheme ~k =
   (* SQL4: top-k over LeftTops first; SQL5 checks for pruned topologies
      whose score could enter the result. *)
-  let base = regular_topk ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  let base = regular_topk ?check ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
   let kth_score =
     if List.length base >= k then List.fold_left (fun acc (_, s) -> Float.min acc s) infinity base
     else neg_infinity
@@ -294,18 +300,18 @@ let fast_top_k ctx aligned ~scheme ~k =
   let merged = sort_desc (base @ extra) in
   List.filteri (fun i _ -> i < k) merged
 
-let full_top_k_opt ctx aligned ~scheme ~k =
+let full_top_k_opt ?(check = false) ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
-  let decision = Optimizer.choose ctx.Context.catalog spec in
+  let decision = Optimizer.choose ~check ctx.Context.catalog spec in
   match decision.Optimizer.strategy with
-  | Optimizer.Regular -> (full_top_k ctx aligned ~scheme ~k, Optimizer.Regular)
+  | Optimizer.Regular -> (full_top_k ~check ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
-      (full_top_k_et ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+      (full_top_k_et ~check ctx aligned ~scheme ~k (), Optimizer.Early_termination)
 
-let fast_top_k_opt ctx aligned ~scheme ~k =
+let fast_top_k_opt ?(check = false) ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
-  let decision = Optimizer.choose ctx.Context.catalog spec in
+  let decision = Optimizer.choose ~check ctx.Context.catalog spec in
   match decision.Optimizer.strategy with
-  | Optimizer.Regular -> (fast_top_k ctx aligned ~scheme ~k, Optimizer.Regular)
+  | Optimizer.Regular -> (fast_top_k ~check ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
-      (fast_top_k_et ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+      (fast_top_k_et ~check ctx aligned ~scheme ~k (), Optimizer.Early_termination)

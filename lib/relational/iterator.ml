@@ -30,6 +30,24 @@ module Counters = struct
   let add_probes n = probes_c := !probes_c + n
 
   let add_scanned n = scanned_c := !scanned_c + n
+
+  type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
+
+  let with_reset f =
+    let saved = { tuples = !tuples_c; index_probes = !probes_c; rows_scanned = !scanned_c } in
+    reset ();
+    let restore () =
+      let did = { tuples = !tuples_c; index_probes = !probes_c; rows_scanned = !scanned_c } in
+      tuples_c := saved.tuples + did.tuples;
+      probes_c := saved.index_probes + did.index_probes;
+      scanned_c := saved.rows_scanned + did.rows_scanned;
+      did
+    in
+    match f () with
+    | result -> (result, restore ())
+    | exception e ->
+        ignore (restore ());
+        raise e
 end
 
 let ungrouped ~schema ~open_ ~next ~close =

@@ -29,6 +29,15 @@ type t = {
 module Counters : sig
   val reset : unit -> unit
 
+  (** A consistent reading of all counters. *)
+  type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
+
+  (** [with_reset f] runs [f] against zeroed counters and returns its result
+      together with the work it performed.  The counts accumulated before
+      the call are restored afterwards — with [f]'s work added on top, so an
+      enclosing [with_reset] still observes everything.  Exception-safe. *)
+  val with_reset : (unit -> 'a) -> 'a * snapshot
+
   (** Tuples returned by any operator's [next]. *)
   val tuples : unit -> int
 

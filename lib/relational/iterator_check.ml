@@ -1,0 +1,47 @@
+exception Protocol_error of string
+
+type state = Fresh | Open | Closed
+
+let wrap ?(name = "iterator") (it : Iterator.t) =
+  let state = ref Fresh in
+  let max_group = ref min_int in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error (name ^ ": " ^ msg))) fmt in
+  let require_open what =
+    match !state with
+    | Open -> ()
+    | Fresh -> fail "%s before open" what
+    | Closed -> fail "%s after close" what
+  in
+  {
+    Iterator.schema = it.Iterator.schema;
+    open_ =
+      (fun () ->
+        (match !state with
+        | Open -> fail "open while already open"
+        | Fresh | Closed -> ());
+        state := Open;
+        max_group := min_int;
+        it.Iterator.open_ ());
+    next =
+      (fun () ->
+        require_open "next";
+        match it.Iterator.next () with
+        | None -> None
+        | Some tuple ->
+            let g = it.Iterator.last_group () in
+            if g < !max_group then
+              fail "last_group went backwards (%d after %d)" g !max_group;
+            max_group := g;
+            Some tuple);
+    close =
+      (fun () ->
+        (* Double close is legal: Sort closes its input at materialize time
+           and again on its own close. *)
+        state := Closed;
+        it.Iterator.close ());
+    advance_group =
+      (fun () ->
+        require_open "advance_group";
+        it.Iterator.advance_group ());
+    last_group = it.Iterator.last_group;
+  }

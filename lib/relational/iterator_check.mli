@@ -1,0 +1,22 @@
+(** Runtime iterator-protocol checker.
+
+    [wrap it] returns an iterator with identical behaviour that enforces the
+    Volcano protocol from {!Iterator}:
+
+    - [next]/[advance_group] may only be called between [open_] and [close];
+    - [open_] may not be called on an already-open iterator;
+    - [last_group] must be non-decreasing across the tuples of one open
+      cycle (the Section 5.3 group-order property).
+
+    [close] on a closed (or never-opened) iterator and re-[open_] after
+    [close] are {e allowed}: materializing operators such as [Sort] close
+    their input early, and [Distinct]/[Union] reopen inputs, so both occur
+    in well-formed plans.
+
+    Violations raise {!Protocol_error} naming the operator; intended for
+    debug builds and tests via {!Physical.lower_checked}. *)
+
+exception Protocol_error of string
+
+(** [wrap ?name it]; [name] labels the iterator in error messages. *)
+val wrap : ?name:string -> Iterator.t -> Iterator.t

@@ -93,7 +93,7 @@ type dp_state = {
          Section 5.4.1) *)
 }
 
-let regular_plan catalog spec =
+let regular_plan ?(check = false) catalog spec =
   let dims = Array.of_list spec.dims in
   let nrels = 2 + Array.length dims in
   let infos =
@@ -251,6 +251,9 @@ let regular_plan catalog spec =
      each interesting order. *)
   let best : (int * bool, dp_state) Hashtbl.t = Hashtbl.create 64 in
   let consider mask state =
+    (* With [check] on, every candidate the DP prices must verify — a bad
+       join-key offset computed by [extend] is a bug here, not downstream. *)
+    if check then Plan_check.check catalog state.plan;
     let key = (mask, state.score_ordered) in
     match Hashtbl.find_opt best key with
     | Some s when s.cost <= state.cost -> ()
@@ -305,7 +308,9 @@ let regular_plan catalog spec =
             if cost < acc_cost then state else acc)
           first rest
       in
-      finish best_final
+      let plan, cost = finish best_final in
+      if check then Plan_check.check catalog plan;
+      (plan, cost)
 
 (* ------------------------------------------------------------------ *)
 (* Early-termination plans: grouped scan + DGJ stack                   *)
@@ -429,7 +434,7 @@ let et_plan catalog spec ~impls ~dim_order =
     dim_order;
   !plan
 
-let best_et_plan catalog spec =
+let best_et_plan ?(check = false) catalog spec =
   let n = List.length spec.dims in
   let orders = permutations (List.init n Fun.id) in
   let choices = impl_choices (n + 1) in
@@ -440,6 +445,7 @@ let best_et_plan catalog spec =
     (fun dim_order ->
       List.iter
         (fun impls ->
+          if check then Plan_check.check catalog (et_plan catalog spec ~impls ~dim_order);
           let cost = cost_of ~impls ~dim_order in
           match !best with
           | Some (_, c) when c <= cost -> ()
@@ -448,11 +454,14 @@ let best_et_plan catalog spec =
     orders;
   match !best with
   | None -> None
-  | Some ((impls, dim_order), cost) -> Some (et_plan catalog spec ~impls ~dim_order, cost)
+  | Some ((impls, dim_order), cost) ->
+      let plan = et_plan catalog spec ~impls ~dim_order in
+      if check then Plan_check.check catalog plan;
+      Some (plan, cost)
 
-let choose catalog spec =
-  let reg_plan, reg_cost = regular_plan catalog spec in
-  match best_et_plan catalog spec with
+let choose ?(check = false) catalog spec =
+  let reg_plan, reg_cost = regular_plan ~check catalog spec in
+  match best_et_plan ~check catalog spec with
   | None ->
       {
         plan = reg_plan;

@@ -57,17 +57,22 @@ type decision = {
 val et_plan : Catalog.t -> spec -> impls:[ `I | `H ] list -> dim_order:int list -> Physical.t
 
 (** [regular_plan catalog spec] is the best regular plan found by the
-    join-order dynamic program, with its estimated cost. *)
-val regular_plan : Catalog.t -> spec -> Physical.t * float
+    join-order dynamic program, with its estimated cost.  With [~check:true]
+    every candidate the DP prices, and the returned plan, must pass
+    {!Plan_check.check} (raises {!Plan_check.Plan_error} otherwise); tests
+    run with it on. *)
+val regular_plan : ?check:bool -> Catalog.t -> spec -> Physical.t * float
 
 (** [best_et_plan catalog spec] enumerates dimension orders and per-level
     implementations, pricing each with {!Dgj_cost}; returns the cheapest
     with its cost.  Returns [None] when the fact or group relation is
-    empty. *)
-val best_et_plan : Catalog.t -> spec -> (Physical.t * float) option
+    empty.  [~check:true] verifies every enumerated candidate and the
+    winner. *)
+val best_et_plan : ?check:bool -> Catalog.t -> spec -> (Physical.t * float) option
 
-(** [choose catalog spec] runs both searches and picks the cheaper plan. *)
-val choose : Catalog.t -> spec -> decision
+(** [choose catalog spec] runs both searches and picks the cheaper plan.
+    [~check] is forwarded to both searches. *)
+val choose : ?check:bool -> Catalog.t -> spec -> decision
 
 (** [run_topk catalog spec decision] executes the decision and returns the
     top-k [(group_key_value, score)] pairs in descending score order.  For

@@ -85,7 +85,31 @@ let rec schema catalog = function
    columns, so predicates pushed into scans use positions; positions are
    alias-independent. *)
 
-let rec lower catalog plan =
+let node_label = function
+  | Scan { table; _ } -> "SeqScan " ^ table
+  | OrderedScan { table; _ } -> "OrderedScan " ^ table
+  | IndexProbe { table; _ } -> "IndexProbe " ^ table
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | HashJoin _ -> "HashJoin"
+  | MergeJoin _ -> "MergeJoin"
+  | NLJoin _ -> "NLJoin"
+  | IndexNL { table; _ } -> "IndexNLJoin " ^ table
+  | Idgj { table; _ } -> "IDGJ " ^ table
+  | Hdgj { table; _ } -> "HDGJ " ^ table
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | Union _ -> "Union"
+  | AntiJoin _ -> "AntiJoin"
+  | SemiJoin _ -> "SemiJoin"
+  | Limit _ -> "Limit"
+  | Compute _ -> "Compute"
+  | Aggregate _ -> "Aggregate"
+
+let rec lower_with ~wrap catalog plan =
+  let lower catalog plan = lower_with ~wrap catalog plan in
+  wrap (node_label plan)
+  @@
   match plan with
   | Scan { table; alias; pred } ->
       let it = Op_scan.seq ?pred (Catalog.find catalog table) in
@@ -155,6 +179,11 @@ and relabel catalog plan it alias table =
   match alias with
   | None -> it
   | Some _ -> { it with Iterator.schema = schema catalog plan }
+
+let lower catalog plan = lower_with ~wrap:(fun _ it -> it) catalog plan
+
+let lower_checked catalog plan =
+  lower_with ~wrap:(fun name it -> Iterator_check.wrap ~name it) catalog plan
 
 let run catalog plan = Iterator.to_list (lower catalog plan)
 

@@ -75,6 +75,12 @@ val schema : Catalog.t -> t -> Schema.t
 (** [lower catalog plan] builds the iterator tree. *)
 val lower : Catalog.t -> t -> Iterator.t
 
+(** [lower_checked catalog plan] is {!lower} with every operator wrapped in
+    {!Iterator_check.wrap}, so protocol misuse raises
+    {!Iterator_check.Protocol_error} at the offending node.  Debug/test
+    use. *)
+val lower_checked : Catalog.t -> t -> Iterator.t
+
 (** [run catalog plan] lowers and drains to a tuple list. *)
 val run : Catalog.t -> t -> Tuple.t list
 

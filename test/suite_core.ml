@@ -288,12 +288,16 @@ let test_counters_show_early_termination () =
      exactly the optimizer's reason to exist. *)
   let cat, engine = Lazy.force synthetic_engine in
   let q = Query.make (Query.endpoint cat "Protein") (Query.endpoint cat "DNA") in
-  Topo_sql.Iterator.Counters.reset ();
-  ignore (Engine.run engine q ~method_:Engine.Full_top_k ~scheme:Ranking.Freq ~k:3 ());
-  let regular_tuples = Topo_sql.Iterator.Counters.tuples () in
-  Topo_sql.Iterator.Counters.reset ();
-  ignore (Engine.run engine q ~method_:Engine.Full_top_k_et ~scheme:Ranking.Freq ~k:3 ());
-  let et_tuples = Topo_sql.Iterator.Counters.tuples () in
+  let _, regular_work =
+    Topo_sql.Iterator.Counters.with_reset (fun () ->
+        Engine.run engine q ~method_:Engine.Full_top_k ~scheme:Ranking.Freq ~k:3 ())
+  in
+  let regular_tuples = regular_work.Topo_sql.Iterator.Counters.tuples in
+  let _, et_work =
+    Topo_sql.Iterator.Counters.with_reset (fun () ->
+        Engine.run engine q ~method_:Engine.Full_top_k_et ~scheme:Ranking.Freq ~k:3 ())
+  in
+  let et_tuples = et_work.Topo_sql.Iterator.Counters.tuples in
   Alcotest.(check bool)
     (Printf.sprintf "ET touches fewer tuples (%d < %d)" et_tuples regular_tuples)
     true (et_tuples < regular_tuples)

@@ -119,12 +119,10 @@ let test_dgj_group_ids_monotone impl () =
 let test_hdgj_rescans_inner () =
   (* HDGJ's inner re-scan is observable through the scan counter. *)
   let cat = gap_catalog () in
-  Iterator.Counters.reset ();
-  ignore (Iterator.to_list (gap_stack cat `H));
-  let h_scans = Iterator.Counters.rows_scanned () in
-  Iterator.Counters.reset ();
-  ignore (Iterator.to_list (gap_stack cat `I));
-  let i_scans = Iterator.Counters.rows_scanned () in
+  let _, h_work = Iterator.Counters.with_reset (fun () -> Iterator.to_list (gap_stack cat `H)) in
+  let h_scans = h_work.Iterator.Counters.rows_scanned in
+  let _, i_work = Iterator.Counters.with_reset (fun () -> Iterator.to_list (gap_stack cat `I)) in
+  let i_scans = i_work.Iterator.Counters.rows_scanned in
   Alcotest.(check bool)
     (Printf.sprintf "HDGJ scans more rows (%d > %d)" h_scans i_scans)
     true (h_scans > i_scans)
