@@ -1,0 +1,54 @@
+(* Profile — per-operator instrumentation on the Figure 12 pair.
+
+   Runs the SQL4-style Protein-DNA top-k query (LeftTops joined with
+   TopInfo, ORDER BY score FETCH FIRST 10) both plain and under the
+   Op_stats wrappers, reports the instrumentation overhead (the ISSUE
+   budget is <= 10%), and writes the per-operator estimate-vs-actual
+   breakdown to BENCH_PROFILE.json. *)
+
+open Bench_common
+module Obs = Topo_obs
+
+let sql4 =
+  "SELECT DISTINCT LT.TID, Top.score_freq AS SCORE \
+   FROM Protein P, DNA D, LeftTops_Protein_DNA LT, TopInfo_Protein_DNA Top \
+   WHERE P.desc.ct('enzyme') AND P.ID = LT.E1 AND D.ID = LT.E2 AND Top.TID = LT.TID \
+   ORDER BY SCORE DESC FETCH FIRST 10 ROWS ONLY"
+
+let run () =
+  Topo_util.Pretty.section "Profile — per-operator instrumentation, Fig. 12 top-k query";
+  let engine, _ = engine_l3 () in
+  let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
+  let plan = Topo_sql.Sql.to_plan catalog sql4 in
+  let runs = max 5 config.runs in
+  let _, plain_median =
+    Topo_util.Timer.repeat_median ~runs (fun () -> Topo_sql.Physical.run catalog plan)
+  in
+  let _, inst_median =
+    Topo_util.Timer.repeat_median ~runs (fun () ->
+        let it, _stats = Topo_sql.Physical.lower_instrumented catalog plan in
+        Topo_sql.Iterator.to_list it)
+  in
+  let report, _rows = Obs.Explain_analyze.run catalog plan in
+  print_string (Obs.Explain_analyze.to_text report);
+  let overhead =
+    if plain_median > 0.0 then (inst_median -. plain_median) /. plain_median *. 100.0 else 0.0
+  in
+  Printf.printf "\nplain %.3fms, instrumented %.3fms -> overhead %.1f%%\n"
+    (plain_median *. 1000.0) (inst_median *. 1000.0) overhead;
+  let json =
+    Obs.Json.Obj
+      [
+        ("query", Obs.Json.Str sql4);
+        ("runs", Obs.Json.int runs);
+        ("plain_ms", Obs.Json.Num (plain_median *. 1000.0));
+        ("instrumented_ms", Obs.Json.Num (inst_median *. 1000.0));
+        ("overhead_pct", Obs.Json.Num overhead);
+        ("report", Obs.Explain_analyze.to_json report);
+      ]
+  in
+  let oc = open_out "BENCH_PROFILE.json" in
+  output_string oc (Obs.Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_PROFILE.json"

@@ -29,6 +29,7 @@ let experiments =
     ("instances", Exp_instances.run);
     ("ablations", Exp_ablations.run);
     ("micro", Exp_micro.run);
+    ("profile", Exp_profile.run);
   ]
 
 let parse_args () =

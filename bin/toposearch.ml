@@ -7,13 +7,17 @@
      schema      show the Biozon schema and schema paths between two types
      enumerate   count all possible topologies between two types (Sec 3.1)
      sql         evaluate a SQL query over the generated instance
-     check       lint SQL queries with the physical-plan verifier *)
+     check       lint SQL queries with the physical-plan verifier
+     explain     show a query's plan with estimates; --analyze executes it
+                 instrumented and prints estimate-vs-actual per operator
+     profile     run a query method under a trace and print the span tree *)
 
 open Cmdliner
 module Engine = Topo_core.Engine
 module Query = Topo_core.Query
 module Ranking = Topo_core.Ranking
 module Nquery = Topo_core.Nquery
+module Obs = Topo_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -240,26 +244,27 @@ let split_statements text =
   |> List.map String.trim
   |> List.filter (fun s -> s <> "")
 
+let gather_queries query_text file =
+  match (query_text, file) with
+  | Some q, None -> split_statements q
+  | None, Some path -> (
+      match open_in path with
+      | ic ->
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          split_statements text
+      | exception Sys_error msg ->
+          prerr_endline msg;
+          exit 2)
+  | Some _, Some _ ->
+      prerr_endline "pass either a SQL argument or --file, not both";
+      exit 2
+  | None, None ->
+      prerr_endline "pass a SQL query or --file FILE";
+      exit 2
+
 let check_run scale seed l threshold t1 t2 query_text file =
-  let queries =
-    match (query_text, file) with
-    | Some q, None -> split_statements q
-    | None, Some path -> (
-        match open_in path with
-        | ic ->
-            let text = really_input_string ic (in_channel_length ic) in
-            close_in ic;
-            split_statements text
-        | exception Sys_error msg ->
-            prerr_endline msg;
-            exit 2)
-    | Some _, Some _ ->
-        prerr_endline "pass either a SQL argument or --file, not both";
-        exit 2
-    | None, None ->
-        prerr_endline "pass a SQL query or --file FILE";
-        exit 2
-  in
+  let queries = gather_queries query_text file in
   let catalog = make_instance scale seed in
   let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
   let failures = ref 0 in
@@ -296,6 +301,127 @@ let check_cmd =
           ordering and grouping invariants) without executing.  Exits 1 when any query has \
           violations.")
     Term.(const check_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text $ file)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let rec est_json (n : Obs.Estimate.node) =
+  Obs.Json.Obj
+    [
+      ("operator", Obs.Json.Str n.Obs.Estimate.label);
+      ("est_rows", Obs.Json.Num n.Obs.Estimate.est.Obs.Estimate.rows);
+      ("est_cost", Obs.Json.Num n.Obs.Estimate.est.Obs.Estimate.cost);
+      ("children", Obs.Json.Arr (List.map est_json n.Obs.Estimate.children));
+    ]
+
+let explain_run scale seed l threshold t1 t2 query_text file analyze json_out =
+  let queries = gather_queries query_text file in
+  let catalog = make_instance scale seed in
+  let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let failures = ref 0 in
+  let reports = ref [] in
+  List.iter
+    (fun q ->
+      Printf.printf "-- %s\n" q;
+      match
+        if analyze then begin
+          let report, _rows = Obs.Explain_analyze.of_sql catalog q in
+          print_string (Obs.Explain_analyze.to_text report);
+          Obs.Explain_analyze.to_json report
+        end
+        else begin
+          let plan = Topo_sql.Sql.to_plan catalog q in
+          let est = Obs.Estimate.annotate catalog plan in
+          let rec render depth (n : Obs.Estimate.node) =
+            Printf.printf "%s%s  est_rows=%.0f est_cost=%.1f\n"
+              (String.make (2 * depth) ' ')
+              n.Obs.Estimate.label n.Obs.Estimate.est.Obs.Estimate.rows
+              n.Obs.Estimate.est.Obs.Estimate.cost;
+            List.iter (render (depth + 1)) n.Obs.Estimate.children
+          in
+          render 0 est;
+          est_json est
+        end
+      with
+      | json ->
+          print_newline ();
+          reports := Obs.Json.Obj [ ("query", Obs.Json.Str q); ("report", json) ] :: !reports
+      | exception Topo_sql.Sql_parser.Parse_error msg ->
+          incr failures;
+          Printf.printf "parse error: %s\n\n" msg
+      | exception Topo_sql.Sql_lexer.Lex_error (msg, pos) ->
+          incr failures;
+          Printf.printf "lex error at %d: %s\n\n" pos msg
+      | exception Topo_sql.Sql_binder.Bind_error msg ->
+          incr failures;
+          Printf.printf "bind error: %s\n\n" msg)
+    queries;
+  (match json_out with
+  | Some path ->
+      write_file path (Obs.Json.to_string ~pretty:true (Obs.Json.Arr (List.rev !reports)));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if !failures = 0 then 0 else 1
+
+let explain_cmd =
+  let text = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query (or queries, `;`-separated).") in
+  let file = Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc:"Read `;`-separated queries from a file instead.") in
+  let analyze = Arg.(value & flag & info [ "analyze" ] ~doc:"Execute the plan instrumented and print measured rows, next() calls and wall time next to the estimates, flagging operators off by more than 10x.") in
+  let json_out = Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the per-operator report(s) as JSON.") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show a query's physical plan with the optimizer's cardinality and cost estimates.  With \
+          $(b,--analyze), execute the plan under per-operator instrumentation (EXPLAIN ANALYZE).")
+    Term.(
+      const explain_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text
+      $ file $ analyze $ json_out)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                              *)
+
+let profile_run scale seed l threshold t1 t2 kw1 kw2 method_ scheme k json_out =
+  let catalog = make_instance scale seed in
+  let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let endpoint entity kw =
+    match kw with
+    | Some kw -> Query.keyword catalog entity ~col:"desc" ~kw
+    | None -> Query.endpoint catalog entity
+  in
+  let q = Query.make (endpoint t1 kw1) (endpoint t2 kw2) in
+  Printf.printf "query: %s\nmethod: %s, scheme: %s, k: %d\n\n" (Query.to_string q)
+    (Engine.method_name method_) (Ranking.name scheme) k;
+  let trace = Obs.Trace.create () in
+  let r = Engine.run engine q ~method_ ~scheme ~k ~trace () in
+  print_string (Obs.Trace.to_text trace);
+  Printf.printf "\n%d result(s) in %.1fms\n" (List.length r.Engine.ranked) (r.Engine.elapsed_s *. 1000.0);
+  (match json_out with
+  | Some path ->
+      write_file path (Obs.Json.to_string ~pretty:true (Obs.Trace.to_json trace));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  0
+
+let profile_cmd =
+  let kw1 = Arg.(value & opt (some string) None & info [ "kw1" ] ~docv:"WORD" ~doc:"Keyword constraint on $(b,t1)'s description.") in
+  let kw2 = Arg.(value & opt (some string) None & info [ "kw2" ] ~docv:"WORD" ~doc:"Keyword constraint on $(b,t2)'s description.") in
+  let method_ = Arg.(value & opt method_conv Engine.Fast_top_k_opt & info [ "method" ] ~docv:"M" ~doc:"Evaluation method (paper names, e.g. Fast-Top-k-ET).") in
+  let scheme = Arg.(value & opt scheme_conv Ranking.Domain & info [ "scheme" ] ~docv:"S" ~doc:"Ranking scheme: Freq, Rare or Domain.") in
+  let k = Arg.(value & opt int 10 & info [ "topk"; "n" ] ~docv:"N" ~doc:"Number of results for top-k methods.") in
+  let json_out = Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the span tree as JSON.") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a topology query under a trace and print the span tree of the evaluation phases \
+          (plan building, optimizer choice, execution, pruned-topology checks).")
+    Term.(
+      const profile_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ kw1
+      $ kw2 $ method_ $ scheme $ k $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* nquery                                                               *)
@@ -372,6 +498,18 @@ let main_cmd =
   Cmd.group
     (Cmd.info "toposearch" ~version:"1.0.0"
        ~doc:"Topology search over biological databases (Guo, Shanmugasundaram, Yona).")
-    [ demo_cmd; query_cmd; topologies_cmd; schema_cmd; enumerate_cmd; sql_cmd; check_cmd; nquery_cmd; dump_cmd ]
+    [
+      demo_cmd;
+      query_cmd;
+      topologies_cmd;
+      schema_cmd;
+      enumerate_cmd;
+      sql_cmd;
+      check_cmd;
+      explain_cmd;
+      profile_cmd;
+      nquery_cmd;
+      dump_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -77,29 +77,38 @@ type result = {
   strategy : Topo_sql.Optimizer.strategy option;
 }
 
-let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls ?(verify_plans = false) () =
+let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls ?(verify_plans = false) ?trace
+    () =
   let aligned = Methods.align t.ctx query in
   let check = verify_plans in
   let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
   let plain l = List.map (fun tid -> (tid, None)) l in
-  let start = Unix.gettimeofday () in
-  let ranked, strategy =
+  let evaluate ?trace () =
     match method_ with
-    | Sql -> (plain (Methods.sql_method t.ctx aligned), None)
-    | Full_top -> (plain (Methods.full_top ~check t.ctx aligned), None)
-    | Fast_top -> (plain (Methods.fast_top ~check t.ctx aligned), None)
-    | Full_top_k -> (with_scores (Methods.full_top_k ~check t.ctx aligned ~scheme ~k), None)
-    | Fast_top_k -> (with_scores (Methods.fast_top_k ~check t.ctx aligned ~scheme ~k), None)
+    | Sql -> (plain (Methods.sql_method ?trace t.ctx aligned), None)
+    | Full_top -> (plain (Methods.full_top ~check ?trace t.ctx aligned), None)
+    | Fast_top -> (plain (Methods.fast_top ~check ?trace t.ctx aligned), None)
+    | Full_top_k -> (with_scores (Methods.full_top_k ~check ?trace t.ctx aligned ~scheme ~k), None)
+    | Fast_top_k -> (with_scores (Methods.fast_top_k ~check ?trace t.ctx aligned ~scheme ~k), None)
     | Full_top_k_et ->
-        (with_scores (Methods.full_top_k_et ~check t.ctx aligned ~scheme ~k ?impls ()), None)
+        (with_scores (Methods.full_top_k_et ~check ?trace t.ctx aligned ~scheme ~k ?impls ()), None)
     | Fast_top_k_et ->
-        (with_scores (Methods.fast_top_k_et ~check t.ctx aligned ~scheme ~k ?impls ()), None)
+        (with_scores (Methods.fast_top_k_et ~check ?trace t.ctx aligned ~scheme ~k ?impls ()), None)
     | Full_top_k_opt ->
-        let results, strategy = Methods.full_top_k_opt ~check t.ctx aligned ~scheme ~k in
+        let results, strategy = Methods.full_top_k_opt ~check ?trace t.ctx aligned ~scheme ~k in
         (with_scores results, Some strategy)
     | Fast_top_k_opt ->
-        let results, strategy = Methods.fast_top_k_opt ~check t.ctx aligned ~scheme ~k in
+        let results, strategy = Methods.fast_top_k_opt ~check ?trace t.ctx aligned ~scheme ~k in
         (with_scores results, Some strategy)
+  in
+  let start = Unix.gettimeofday () in
+  let ranked, strategy =
+    match trace with
+    | None -> evaluate ()
+    | Some tr ->
+        Topo_obs.Trace.with_span tr (method_name method_)
+          ~tags:[ ("scheme", Ranking.name scheme); ("k", string_of_int k) ]
+          (fun () -> evaluate ?trace ())
   in
   let elapsed_s = Unix.gettimeofday () -. start in
   { ranked; elapsed_s; method_; strategy }

@@ -58,7 +58,9 @@ type result = {
     builds with {!Topo_sql.Plan_check} before executing it — raising
     {!Topo_sql.Plan_check.Plan_error} on a malformed plan — and runs -ET
     iterator trees under the {!Topo_sql.Iterator_check} protocol
-    checker. *)
+    checker.  [trace], when given, records a span tree of the evaluation
+    phases (root span named after the method, tagged with scheme and k)
+    into the supplied {!Topo_obs.Trace}. *)
 val run :
   t ->
   Query.t ->
@@ -67,6 +69,7 @@ val run :
   ?k:int ->
   ?impls:[ `I | `H ] list ->
   ?verify_plans:bool ->
+  ?trace:Topo_obs.Trace.t ->
   unit ->
   result
 

@@ -11,6 +11,10 @@ let align (ctx : Context.t) (q : Query.t) =
   if straight then { store; ea = q.Query.e1; eb = q.Query.e2 }
   else { store; ea = q.Query.e2; eb = q.Query.e1 }
 
+(* Span helper: a no-op when no trace is threaded through. *)
+let sp ?trace ?tags name f =
+  match trace with None -> f () | Some t -> Topo_obs.Trace.with_span ?tags t name f
+
 (* ------------------------------------------------------------------ *)
 (* Plan builders                                                       *)
 
@@ -47,11 +51,12 @@ let tids_plan ctx aligned ~fact =
   ignore a_arity;
   Physical.Distinct (Physical.Project { input = join_b; cols = [ 2 ] })
 
-let run_tids ?(check = false) ctx plan =
+let run_tids ?(check = false) ?trace ctx plan =
   if check then Plan_check.check ctx.Context.catalog plan;
-  Physical.run ctx.Context.catalog plan
-  |> List.map (fun tuple -> Value.as_int tuple.(0))
-  |> List.sort compare
+  sp ?trace "execute" (fun () ->
+      Physical.run ctx.Context.catalog plan
+      |> List.map (fun tuple -> Value.as_int tuple.(0))
+      |> List.sort compare)
 
 (* ------------------------------------------------------------------ *)
 (* Pruned-topology base-data checks                                    *)
@@ -102,19 +107,32 @@ let pruned_check ctx aligned p = Option.is_some (pruned_find ctx aligned p)
 (* ------------------------------------------------------------------ *)
 (* Non-top-k methods                                                   *)
 
-let full_top ?check ctx aligned =
-  run_tids ?check ctx (tids_plan ctx aligned ~fact:aligned.store.Store.alltops)
+let full_top ?check ?trace ctx aligned =
+  let plan =
+    sp ?trace "build_plan"
+      ~tags:[ ("fact", aligned.store.Store.alltops) ]
+      (fun () -> tids_plan ctx aligned ~fact:aligned.store.Store.alltops)
+  in
+  run_tids ?check ?trace ctx plan
 
-let fast_top ?check ctx aligned =
-  let base = run_tids ?check ctx (tids_plan ctx aligned ~fact:aligned.store.Store.lefttops) in
+let fast_top ?check ?trace ctx aligned =
+  let plan =
+    sp ?trace "build_plan"
+      ~tags:[ ("fact", aligned.store.Store.lefttops) ]
+      (fun () -> tids_plan ctx aligned ~fact:aligned.store.Store.lefttops)
+  in
+  let base = run_tids ?check ?trace ctx plan in
   let extra =
-    List.filter_map
-      (fun (p : Topology.t) -> if pruned_check ctx aligned p then Some p.Topology.tid else None)
-      aligned.store.Store.pruned
+    sp ?trace "pruned_checks"
+      ~tags:[ ("pruned", string_of_int (List.length aligned.store.Store.pruned)) ]
+      (fun () ->
+        List.filter_map
+          (fun (p : Topology.t) -> if pruned_check ctx aligned p then Some p.Topology.tid else None)
+          aligned.store.Store.pruned)
   in
   List.sort_uniq compare (base @ extra)
 
-let sql_method (ctx : Context.t) aligned =
+let sql_method ?trace (ctx : Context.t) aligned =
   (* One existence probe per observed topology; every probe recomputes pair
      topologies from base data (no sharing between probes — the method's
      documented inefficiency). *)
@@ -150,7 +168,9 @@ let sql_method (ctx : Context.t) aligned =
       false
     with Found_pair _ -> true
   in
-  List.filter check (List.sort compare !observed)
+  sp ?trace "existence_probes"
+    ~tags:[ ("observed", string_of_int (List.length !observed)) ]
+    (fun () -> List.filter check (List.sort compare !observed))
 
 (* ------------------------------------------------------------------ *)
 (* Top-k machinery                                                     *)
@@ -230,9 +250,12 @@ let merge_with_pruned ctx aligned ~scheme ~k ~next_witness =
 
 (* Pull-based driver over a DGJ stack: yields one (tid, score) per group
    that produces a witness, in group (score) order. *)
-let et_witness_stream ?(check = false) ctx aligned ~fact ~scheme ~impls =
+let et_witness_stream ?(check = false) ?trace ctx aligned ~fact ~scheme ~impls =
   let spec = optimizer_spec ctx aligned ~fact ~scheme ~k:max_int in
-  let plan = Optimizer.et_plan ctx.Context.catalog spec ~impls ~dim_order:[ 0; 1 ] in
+  let plan =
+    sp ?trace "build_et_plan" ~tags:[ ("fact", fact) ] (fun () ->
+        Optimizer.et_plan ctx.Context.catalog spec ~impls ~dim_order:[ 0; 1 ])
+  in
   if check then Plan_check.check ctx.Context.catalog plan;
   let it =
     (if check then Physical.lower_checked else Physical.lower) ctx.Context.catalog plan
@@ -257,30 +280,42 @@ let et_witness_stream ?(check = false) ctx aligned ~fact ~scheme ~impls =
 
 let default_impls = [ `I; `I; `I ]
 
-let full_top_k_et ?check ctx aligned ~scheme ~k ?(impls = default_impls) () =
-  let next = et_witness_stream ?check ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls in
-  let results = ref [] in
-  let rec take n = if n > 0 then (match next () with None -> () | Some r -> results := r :: !results; take (n - 1)) in
-  take k;
-  sort_desc (List.rev !results)
+let full_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next =
+    et_witness_stream ?check ?trace ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls
+  in
+  sp ?trace "stream_witnesses" (fun () ->
+      let results = ref [] in
+      let rec take n =
+        if n > 0 then
+          match next () with None -> () | Some r -> results := r :: !results; take (n - 1)
+      in
+      take k;
+      sort_desc (List.rev !results))
 
-let fast_top_k_et ?check ctx aligned ~scheme ~k ?(impls = default_impls) () =
-  let next = et_witness_stream ?check ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls in
-  merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next
+let fast_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) () =
+  let next =
+    et_witness_stream ?check ?trace ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls
+  in
+  sp ?trace "merge_with_pruned" (fun () -> merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next)
 
-let regular_topk ?(check = false) ctx aligned ~fact ~scheme ~k =
+let regular_topk ?(check = false) ?trace ctx aligned ~fact ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact ~scheme ~k in
-  let plan, _cost = Optimizer.regular_plan ~check ctx.Context.catalog spec in
-  Physical.run ctx.Context.catalog plan
-  |> List.map (fun tuple -> (Value.as_int tuple.(0), Value.as_float tuple.(1)))
+  let plan, _cost =
+    sp ?trace "optimize" ~tags:[ ("fact", fact) ] (fun () ->
+        Optimizer.regular_plan ~check ctx.Context.catalog spec)
+  in
+  sp ?trace "execute" (fun () ->
+      Physical.run ctx.Context.catalog plan
+      |> List.map (fun tuple -> (Value.as_int tuple.(0), Value.as_float tuple.(1))))
 
-let full_top_k ?check ctx aligned ~scheme ~k =
-  regular_topk ?check ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
+let full_top_k ?check ?trace ctx aligned ~scheme ~k =
+  regular_topk ?check ?trace ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
 
-let fast_top_k ?check ctx aligned ~scheme ~k =
+let fast_top_k ?check ?trace ctx aligned ~scheme ~k =
   (* SQL4: top-k over LeftTops first; SQL5 checks for pruned topologies
      whose score could enter the result. *)
-  let base = regular_topk ?check ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  let base = regular_topk ?check ?trace ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
   let kth_score =
     if List.length base >= k then List.fold_left (fun acc (_, s) -> Float.min acc s) infinity base
     else neg_infinity
@@ -293,25 +328,43 @@ let fast_top_k ?check ctx aligned ~scheme ~k =
       aligned.store.Store.pruned
   in
   let extra =
-    List.filter_map
-      (fun (p, s) -> if pruned_check ctx aligned p then Some (p.Topology.tid, s) else None)
-      candidates
+    sp ?trace "pruned_checks"
+      ~tags:[ ("candidates", string_of_int (List.length candidates)) ]
+      (fun () ->
+        List.filter_map
+          (fun (p, s) -> if pruned_check ctx aligned p then Some (p.Topology.tid, s) else None)
+          candidates)
   in
   let merged = sort_desc (base @ extra) in
   List.filteri (fun i _ -> i < k) merged
 
-let full_top_k_opt ?(check = false) ctx aligned ~scheme ~k =
-  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
-  let decision = Optimizer.choose ~check ctx.Context.catalog spec in
-  match decision.Optimizer.strategy with
-  | Optimizer.Regular -> (full_top_k ~check ctx aligned ~scheme ~k, Optimizer.Regular)
-  | Optimizer.Early_termination ->
-      (full_top_k_et ~check ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+let strategy_name = function
+  | Optimizer.Regular -> "regular"
+  | Optimizer.Early_termination -> "early-termination"
 
-let fast_top_k_opt ?(check = false) ctx aligned ~scheme ~k =
-  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
-  let decision = Optimizer.choose ~check ctx.Context.catalog spec in
-  match decision.Optimizer.strategy with
-  | Optimizer.Regular -> (fast_top_k ~check ctx aligned ~scheme ~k, Optimizer.Regular)
+let choose_strategy ~check ?trace ctx spec =
+  match trace with
+  | None -> (Optimizer.choose ~check ctx.Context.catalog spec).Optimizer.strategy
+  | Some t ->
+      let span = Topo_obs.Trace.start t "choose" in
+      let decision =
+        Fun.protect
+          ~finally:(fun () -> Topo_obs.Trace.finish t span)
+          (fun () -> Optimizer.choose ~check ctx.Context.catalog spec)
+      in
+      Topo_obs.Trace.add_tag span "strategy" (strategy_name decision.Optimizer.strategy);
+      decision.Optimizer.strategy
+
+let full_top_k_opt ?(check = false) ?trace ctx aligned ~scheme ~k =
+  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
+  match choose_strategy ~check ?trace ctx spec with
+  | Optimizer.Regular -> (full_top_k ~check ?trace ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
-      (fast_top_k_et ~check ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+      (full_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+
+let fast_top_k_opt ?(check = false) ?trace ctx aligned ~scheme ~k =
+  let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  match choose_strategy ~check ?trace ctx spec with
+  | Optimizer.Regular -> (fast_top_k ~check ?trace ctx aligned ~scheme ~k, Optimizer.Regular)
+  | Optimizer.Early_termination ->
+      (fast_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)

@@ -33,49 +33,62 @@ val align : Context.t -> Query.t -> aligned
     topology (the paper restricts the SQL method to topologies with at
     least one occurrence, "close to 200"); each probe recomputes pair
     topologies from scratch, which is the method's documented
-    inefficiency. *)
-val sql_method : Context.t -> aligned -> int list
+    inefficiency.
+
+    Every method takes an optional [?trace]; when given, the method opens
+    {!Topo_obs.Trace} spans around its phases (plan building, optimizer
+    choice, execution, pruned-topology checks) so [toposearch profile] can
+    show where the time goes. *)
+val sql_method : ?trace:Topo_obs.Trace.t -> Context.t -> aligned -> int list
 
 (** [full_top ctx aligned] evaluates the single AllTops join of
     Section 3.2.  On every plan-building method, [~check:true] (default
     false) verifies each plan with {!Topo_sql.Plan_check} before execution
     and, for the -ET stream, runs the iterator tree under
     {!Topo_sql.Iterator_check}. *)
-val full_top : ?check:bool -> Context.t -> aligned -> int list
+val full_top : ?check:bool -> ?trace:Topo_obs.Trace.t -> Context.t -> aligned -> int list
 
 (** [fast_top ctx aligned] evaluates the LeftTops join plus one base-data
     check per pruned topology with the ExcpTops anti-join (SQL1 of
     Section 4.3). *)
-val fast_top : ?check:bool -> Context.t -> aligned -> int list
+val fast_top : ?check:bool -> ?trace:Topo_obs.Trace.t -> Context.t -> aligned -> int list
 
 (** {1 Top-k methods} — return at most [k] (tid, score) pairs, score
     descending. *)
 
 val full_top_k :
-  ?check:bool -> Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
+  ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
 
 val fast_top_k :
-  ?check:bool -> Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
+  ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
+  Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
 
 (** [impls] optionally pins the DGJ implementations (head = fact level) so
     benchmarks can time the paper's "best and worst plans"; default is all
     IDGJ. *)
 val full_top_k_et :
   ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
 
 val fast_top_k_et :
   ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
 
 (** The cost-based choices; also return which strategy the optimizer
     picked. *)
 val full_top_k_opt :
   ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
 
 val fast_top_k_opt :
   ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
 
 (** [pruned_check ctx aligned topology] decides whether some qualifying

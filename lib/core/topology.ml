@@ -89,7 +89,12 @@ let describe interner t =
     | [ a; b ] ->
         let wa = walk a and wb = walk b in
         if wa <= wb then wa else wb
-    | _ -> assert false
+    | ends ->
+        invalid_arg
+          (Printf.sprintf
+             "Topology.describe: TID %d (key %s) classified as a simple path but has %d degree-1 \
+              endpoint(s) instead of 2"
+             t.tid t.key (List.length ends))
   end
   else begin
     (* Complex shape: canonical node numbering + edge list. *)

@@ -1,0 +1,34 @@
+(** A minimal JSON value kit for the observability exporters.
+
+    The repository has no external JSON dependency, so traces and
+    explain-analyze reports are rendered and (for round-trip tests and the
+    CLI smoke test) re-parsed with this module.  Numbers are modelled as
+    floats; [to_string] prints integral values without a decimal point and
+    non-integral values with enough digits ([%.17g]) that
+    [parse (to_string v)] reproduces [v] exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [int n] is [Num (float_of_int n)]. *)
+val int : int -> t
+
+(** [to_string ?pretty v] renders compact JSON, or indented when [pretty]
+    (default false).  Non-finite numbers render as [null]. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [parse text] parses one JSON value (surrounding whitespace allowed).
+    Returns [Error msg] with a position on malformed input. *)
+val parse : string -> (t, string) result
+
+(** [equal a b] is structural equality; object fields compare in order,
+    numbers with {!Float.equal}. *)
+val equal : t -> t -> bool
+
+(** [member key v] looks a field up in an [Obj]; [None] otherwise. *)
+val member : string -> t -> t option

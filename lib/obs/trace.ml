@@ -1,0 +1,101 @@
+type span = {
+  span_name : string;
+  start_ns : int64;
+  mutable stop_ns : int64 option;
+  mutable span_tags : (string * string) list;  (* reversed *)
+  mutable subs : span list;  (* reversed *)
+}
+
+type t = {
+  epoch_ns : int64;
+  mutable root_spans : span list;  (* reversed *)
+  mutable stack : span list;  (* innermost open span first *)
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let create () = { epoch_ns = now_ns (); root_spans = []; stack = [] }
+
+let start t ?(tags = []) name =
+  let span =
+    { span_name = name; start_ns = now_ns (); stop_ns = None; span_tags = List.rev tags; subs = [] }
+  in
+  (match t.stack with
+  | parent :: _ -> parent.subs <- span :: parent.subs
+  | [] -> t.root_spans <- span :: t.root_spans);
+  t.stack <- span :: t.stack;
+  span
+
+let finish t span =
+  let stop = now_ns () in
+  let close s = if s.stop_ns = None then s.stop_ns <- Some stop in
+  (* Pop the stack down to (and including) [span]; any deeper span still
+     open is closed with it.  Finishing a span that is not on the stack
+     (already finished, or from another trace) only stamps its stop time. *)
+  if List.memq span t.stack then begin
+    let rec pop = function
+      | s :: rest ->
+          close s;
+          if s == span then t.stack <- rest else pop rest
+      | [] -> t.stack <- []
+    in
+    pop t.stack
+  end
+  else close span
+
+let with_span t ?tags name f =
+  let span = start t ?tags name in
+  Fun.protect ~finally:(fun () -> finish t span) f
+
+let add_tag span key value = span.span_tags <- (key, value) :: span.span_tags
+
+let name span = span.span_name
+
+let duration_s span =
+  let stop = match span.stop_ns with Some s -> s | None -> now_ns () in
+  Int64.to_float (Int64.sub stop span.start_ns) /. 1e9
+
+let roots t = List.rev t.root_spans
+
+let children span = List.rev span.subs
+
+let tags span =
+  (* Insertion order, keeping only the last write per key. *)
+  let all = List.rev span.span_tags in
+  List.filteri
+    (fun i (k, _) -> not (List.exists (fun (k', _) -> k' = k) (List.filteri (fun j _ -> j > i) all)))
+    all
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  let rec go depth span =
+    let tag_str =
+      match tags span with
+      | [] -> ""
+      | l -> "  [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l) ^ "]"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  %.3fms%s%s\n"
+         (String.make (2 * depth) ' ')
+         span.span_name
+         (duration_s span *. 1000.0)
+         (if span.stop_ns = None then " (open)" else "")
+         tag_str);
+    List.iter (go (depth + 1)) (children span)
+  in
+  List.iter (go 0) (roots t);
+  Buffer.contents buf
+
+let to_json t =
+  let rec span_json span =
+    let stop = match span.stop_ns with Some s -> s | None -> now_ns () in
+    Json.Obj
+      [
+        ("name", Json.Str span.span_name);
+        ("start_ns", Json.Num (Int64.to_float (Int64.sub span.start_ns t.epoch_ns)));
+        ("dur_ns", Json.Num (Int64.to_float (Int64.sub stop span.start_ns)));
+        ("tags", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (tags span)));
+        ("children", Json.Arr (List.map span_json (children span)));
+      ]
+  in
+  Json.Obj [ ("spans", Json.Arr (List.map span_json (roots t))) ]

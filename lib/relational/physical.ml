@@ -106,9 +106,21 @@ let node_label = function
   | Compute _ -> "Compute"
   | Aggregate _ -> "Aggregate"
 
+let children = function
+  | Scan _ | OrderedScan _ | IndexProbe _ -> []
+  | Filter { input; _ } | Project { input; _ } | Sort { input; _ } | Compute { input; _ }
+  | Aggregate { input; _ } ->
+      [ input ]
+  | Distinct input | Limit (_, input) -> [ input ]
+  | HashJoin { left; right; _ } | MergeJoin { left; right; _ } | NLJoin { left; right; _ }
+  | AntiJoin { left; right; _ } | SemiJoin { left; right; _ } ->
+      [ left; right ]
+  | Union (a, b) -> [ a; b ]
+  | IndexNL { left; _ } | Idgj { left; _ } | Hdgj { left; _ } -> [ left ]
+
 let rec lower_with ~wrap catalog plan =
   let lower catalog plan = lower_with ~wrap catalog plan in
-  wrap (node_label plan)
+  wrap plan
   @@
   match plan with
   | Scan { table; alias; pred } ->
@@ -183,7 +195,28 @@ and relabel catalog plan it alias table =
 let lower catalog plan = lower_with ~wrap:(fun _ it -> it) catalog plan
 
 let lower_checked catalog plan =
-  lower_with ~wrap:(fun name it -> Iterator_check.wrap ~name it) catalog plan
+  lower_with ~wrap:(fun node it -> Iterator_check.wrap ~name:(node_label node) it) catalog plan
+
+let lower_instrumented catalog plan =
+  (* [lower_with] invokes [wrap] once per plan node with that node's own
+     subtree value, so physical identity links each stats record back to
+     its node; the annotated tree is then rebuilt in [children] order. *)
+  let collected = ref [] in
+  let wrap node it =
+    let stats = Op_stats.create ~label:(node_label node) in
+    collected := (node, stats) :: !collected;
+    Op_stats.wrap stats it
+  in
+  let it = lower_with ~wrap catalog plan in
+  let stats_of node =
+    match List.find_opt (fun (n, _) -> n == node) !collected with
+    | Some (_, s) -> s
+    | None -> Op_stats.create ~label:(node_label node)
+  in
+  let rec build node =
+    { Op_stats.stats = stats_of node; children = List.map build (children node) }
+  in
+  (it, build plan)
 
 let run catalog plan = Iterator.to_list (lower catalog plan)
 

@@ -72,6 +72,14 @@ and agg_kind = Count_star | Count | Sum | Min | Max | Avg
     tables. *)
 val schema : Catalog.t -> t -> Schema.t
 
+(** [node_label plan] is the root operator's display label, e.g.
+    ["HashJoin"] or ["SeqScan Protein"]. *)
+val node_label : t -> string
+
+(** [children plan] is the root's direct inputs, left before right; leaves
+    (scans and probes) have none. *)
+val children : t -> t list
+
 (** [lower catalog plan] builds the iterator tree. *)
 val lower : Catalog.t -> t -> Iterator.t
 
@@ -80,6 +88,12 @@ val lower : Catalog.t -> t -> Iterator.t
     {!Iterator_check.Protocol_error} at the offending node.  Debug/test
     use. *)
 val lower_checked : Catalog.t -> t -> Iterator.t
+
+(** [lower_instrumented catalog plan] is {!lower} with every operator
+    wrapped in {!Op_stats.wrap}; the returned tree mirrors the plan
+    ({!children} order) and fills in as the iterator is driven.  Powers
+    EXPLAIN ANALYZE ([Topo_obs.Explain_analyze]). *)
+val lower_instrumented : Catalog.t -> t -> Iterator.t * Op_stats.annotated
 
 (** [run catalog plan] lowers and drains to a tuple list. *)
 val run : Catalog.t -> t -> Tuple.t list

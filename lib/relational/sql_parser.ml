@@ -105,7 +105,7 @@ and parse_primary st =
             | "MIN" -> Sql_ast.Min
             | "MAX" -> Sql_ast.Max
             | "AVG" -> Sql_ast.Avg
-            | _ -> assert false
+            | other -> fail st (Printf.sprintf "unknown aggregate function %s" other)
           in
           (kind, Some e)
         end

@@ -18,7 +18,12 @@ let repeat_median ~runs f =
     result := Some v
   done;
   Array.sort compare times;
-  let median = times.(runs / 2) in
+  let median =
+    (* For even [runs] the median is the mean of the two middle samples;
+       taking only the upper one biases benchmark medians upward. *)
+    if runs mod 2 = 1 then times.(runs / 2)
+    else (times.((runs / 2) - 1) +. times.(runs / 2)) /. 2.0
+  in
   match !result with
   | Some v -> (v, median)
   | None -> assert false

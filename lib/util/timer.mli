@@ -7,6 +7,7 @@ val time : (unit -> 'a) -> 'a * float
 val time_ms : (unit -> 'a) -> 'a * float
 
 (** [repeat_median ~runs f] runs [f] [runs] times and returns the last result
-    together with the median elapsed seconds; used where the paper reports
-    "the average of multiple runs" on a warm cache. *)
+    together with the median elapsed seconds (the mean of the two middle
+    samples when [runs] is even); used where the paper reports "the average
+    of multiple runs" on a warm cache. *)
 val repeat_median : runs:int -> (unit -> 'a) -> 'a * float

@@ -8,10 +8,16 @@ let create ~n ~s =
   let pmf = Array.map (fun w -> w /. total) weights in
   let cdf = Array.make n 0.0 in
   let acc = ref 0.0 in
+  let prev = ref 0.0 in
   Array.iteri
     (fun i p ->
       acc := !acc +. p;
-      cdf.(i) <- !acc)
+      (* Clamp against the previous entry and 1.0 so float drift for large
+         [n] can never make the CDF non-monotone (the binary search in
+         [sample] assumes monotonicity). *)
+      let v = Float.min 1.0 (Float.max !acc !prev) in
+      cdf.(i) <- v;
+      prev := v)
     pmf;
   cdf.(n - 1) <- 1.0;
   { n; cdf; pmf }

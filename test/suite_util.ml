@@ -135,14 +135,52 @@ let test_timer_measures () =
   Alcotest.(check int) "result" 42 v;
   Alcotest.(check bool) "non-negative" true (t >= 0.0)
 
+(* With an even number of runs the median must average the two middle
+   samples.  Sleeping 0/40ms the true median is ~20ms; taking only the
+   upper-middle sample (the old behavior) would report ~40ms, outside the
+   generous bounds below. *)
+let test_timer_median_even_2 () =
+  let calls = ref 0 in
+  let _, median =
+    Timer.repeat_median ~runs:2 (fun () ->
+        incr calls;
+        if !calls mod 2 = 0 then Unix.sleepf 0.04)
+  in
+  Alcotest.(check bool) "mean of the two middle samples" true (median > 0.005 && median < 0.035)
+
+let test_timer_median_even_4 () =
+  let calls = ref 0 in
+  let _, median =
+    Timer.repeat_median ~runs:4 (fun () ->
+        incr calls;
+        if !calls > 2 then Unix.sleepf 0.04)
+  in
+  Alcotest.(check bool) "mean of the two middle samples" true (median > 0.005 && median < 0.035)
+
+let test_timer_median_odd () =
+  let calls = ref 0 in
+  let _, median =
+    Timer.repeat_median ~runs:3 (fun () ->
+        incr calls;
+        if !calls = 3 then Unix.sleepf 0.04)
+  in
+  Alcotest.(check bool) "middle sample" true (median < 0.02)
+
 let prop_zipf_in_support =
-  QCheck.Test.make ~name:"zipf samples stay in support" ~count:200
-    QCheck.(pair (int_range 1 64) (int_range 0 10000))
-    (fun (n, seed) ->
-      let z = Zipf.create ~n ~s:1.1 in
+  (* Exercised across exponents, including s large enough that the tail
+     weights underflow — the regime where the CDF clamp in [Zipf.create]
+     matters. *)
+  QCheck.Test.make ~name:"zipf samples stay in support" ~count:300
+    QCheck.(triple (int_range 1 2000) (int_range 0 10000) (int_range 0 30))
+    (fun (n, seed, s_half) ->
+      let z = Zipf.create ~n ~s:(float_of_int s_half /. 2.0) in
       let p = Prng.create seed in
-      let r = Zipf.sample z p in
-      r >= 1 && r <= n)
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let r = Zipf.sample z p in
+        if r < 1 || r > n then ok := false
+      done;
+      !ok)
 
 let prop_dyn_matches_list =
   QCheck.Test.make ~name:"dyn behaves like a list" ~count:200
@@ -184,5 +222,8 @@ let suites =
         Alcotest.test_case "pretty render" `Quick test_pretty_render_alignment;
         Alcotest.test_case "pretty bytes" `Quick test_pretty_bytes;
         Alcotest.test_case "timer" `Quick test_timer_measures;
+        Alcotest.test_case "median of 2 runs" `Quick test_timer_median_even_2;
+        Alcotest.test_case "median of 4 runs" `Quick test_timer_median_even_4;
+        Alcotest.test_case "median of 3 runs" `Quick test_timer_median_odd;
       ] );
   ]
