@@ -19,9 +19,18 @@ type config = {
   mutable skip_sql : bool;
   mutable runs : int;  (* repetitions for timed cells *)
   mutable l4_scale : float;  (* extra down-scaling for the l = 4 build *)
+  mutable jobs : int option;  (* domains for offline builds (None = engine default) *)
 }
 
-let config = { scale = 1.0; seed = Biozon.Generator.default.Biozon.Generator.seed; skip_sql = false; runs = 3; l4_scale = 0.6 }
+let config =
+  {
+    scale = 1.0;
+    seed = Biozon.Generator.default.Biozon.Generator.seed;
+    skip_sql = false;
+    runs = 3;
+    l4_scale = 0.6;
+    jobs = None;
+  }
 
 let params () =
   Biozon.Generator.scale config.scale { Biozon.Generator.default with Biozon.Generator.seed = config.seed }
@@ -65,7 +74,8 @@ let timed_build name f =
 (* The main l = 3 engine over all five pairs. *)
 let engine_l3 () =
   timed_build "l3" (fun () ->
-      Engine.build (catalog ()) ~pairs:main_pairs ~l:3 ~pruning_threshold:(pruning_threshold ()) ())
+      Engine.build (catalog ()) ~pairs:main_pairs ~l:3 ~pruning_threshold:(pruning_threshold ())
+        ?jobs:config.jobs ())
 
 (* The l = 4 engine (own catalog at a reduced scale: the paper itself
    reports more than a day of precomputation at l = 4). *)
@@ -84,7 +94,7 @@ let engine_l4 () =
   timed_build "l4" (fun () ->
       Engine.build (l4_catalog ())
         ~pairs:[ ("Protein", "Interaction"); ("Protein", "DNA") ]
-        ~l:4 ~pruning_threshold:(pruning_threshold ()) ())
+        ~l:4 ~pruning_threshold:(pruning_threshold ()) ?jobs:config.jobs ())
 
 let l4_params () =
   Biozon.Generator.scale (config.scale *. config.l4_scale)
@@ -97,7 +107,7 @@ let engine_l4_noweak () =
       Engine.build
         (Biozon.Generator.generate (l4_params ()))
         ~pairs:[ ("Protein", "Interaction"); ("Protein", "DNA") ]
-        ~l:4 ~pruning_threshold:(pruning_threshold ()) ~exclude_weak:true ())
+        ~l:4 ~pruning_threshold:(pruning_threshold ()) ~exclude_weak:true ?jobs:config.jobs ())
 
 (* --- Table 2 style query grid ------------------------------------------ *)
 

@@ -1,0 +1,126 @@
+(* Parallel — offline build scaling and determinism across OCaml domains.
+
+   Rebuilds the same two-pair engine (fresh catalog each time, identical
+   seed) with jobs in {1, 2, 4, 8}, asserts that every build yields a
+   bit-identical fingerprint — derived-table rows of every
+   AllTops/LeftTops/ExcpTops/TopInfo table plus the full registry of
+   (TID, canonical key, decompositions) — and reports the median build
+   time and speedup per jobs value to BENCH_PARALLEL.json.
+
+   Note the speedup column only means something on multi-core machines:
+   with a single CPU visible, extra domains time-slice one core and the
+   curve stays flat (or dips slightly from pool overhead).  The
+   determinism assertion is the part that must hold everywhere. *)
+
+open Bench_common
+module Obs = Topo_obs
+module Table = Topo_sql.Table
+module Tuple = Topo_sql.Tuple
+
+let jobs_sweep = [ 1; 2; 4; 8 ]
+
+let pairs = [ ("Protein", "DNA"); ("Protein", "Interaction") ]
+
+let derived_prefixes = [ "AllTops_"; "LeftTops_"; "ExcpTops_"; "TopInfo_" ]
+
+let is_derived name =
+  List.exists
+    (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    derived_prefixes
+
+(* The full observable output of the offline phase, as one digest. *)
+let fingerprint (engine : Engine.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (t : Topo_core.Topology.t) ->
+      Buffer.add_string buf (Printf.sprintf "T%d %s" t.Topo_core.Topology.tid t.Topo_core.Topology.key);
+      List.iter
+        (fun d -> Buffer.add_string buf ("|" ^ String.concat "," d))
+        t.Topo_core.Topology.decompositions;
+      Buffer.add_char buf '\n')
+    (Topo_core.Topology.all engine.Engine.ctx.Topo_core.Context.registry);
+  let tables =
+    Topo_sql.Catalog.tables engine.Engine.ctx.Topo_core.Context.catalog
+    |> List.filter (fun tb -> is_derived (Table.name tb))
+    |> List.sort (fun a b -> compare (Table.name a) (Table.name b))
+  in
+  List.iter
+    (fun tb ->
+      Buffer.add_string buf (Table.name tb);
+      Buffer.add_char buf '\n';
+      Table.iter
+        (fun _ tuple ->
+          Buffer.add_string buf (Tuple.to_string tuple);
+          Buffer.add_char buf '\n')
+        tb)
+    tables;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let median times =
+  let a = Array.of_list times in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let build_with ~jobs =
+  let catalog = Biozon.Generator.generate (params ()) in
+  let t0 = Unix.gettimeofday () in
+  let engine = Engine.build catalog ~pairs ~l:3 ~pruning_threshold:(pruning_threshold ()) ~jobs () in
+  (engine, Unix.gettimeofday () -. t0)
+
+let run () =
+  Pretty.section "Parallel — offline build across OCaml 5 domains";
+  let runs = max 1 config.runs in
+  Printf.printf "pairs %s, l=3, %d run(s) per jobs value, recommended domains: %d\n\n"
+    (String.concat ", " (List.map (fun (a, b) -> a ^ "-" ^ b) pairs))
+    runs
+    (Domain.recommended_domain_count ());
+  let results =
+    List.map
+      (fun jobs ->
+        let samples = List.init runs (fun _ -> build_with ~jobs) in
+        let engine = fst (List.hd samples) in
+        (jobs, fingerprint engine, median (List.map snd samples)))
+      jobs_sweep
+  in
+  let base_fp, base_t =
+    match results with (1, fp, t) :: _ -> (fp, t) | _ -> assert false
+  in
+  let identical = List.for_all (fun (_, fp, _) -> fp = base_fp) results in
+  Printf.printf "%-6s %-10s %-8s %s\n" "jobs" "median_s" "speedup" "fingerprint";
+  List.iter
+    (fun (jobs, fp, t) ->
+      Printf.printf "%-6d %-10.3f %-8.2f %s%s\n" jobs t (base_t /. t) fp
+        (if fp = base_fp then "" else "  MISMATCH"))
+    results;
+  if not identical then
+    failwith "parallel build is not deterministic: fingerprints differ across jobs values";
+  Printf.printf "\nall %d builds bit-identical to jobs=1\n" (List.length results);
+  let json =
+    Obs.Json.Obj
+      [
+        ("scale", Obs.Json.Num config.scale);
+        ("seed", Obs.Json.int config.seed);
+        ("runs", Obs.Json.int runs);
+        ("l", Obs.Json.int 3);
+        ("pairs", Obs.Json.Arr (List.map (fun (a, b) -> Obs.Json.Str (a ^ "-" ^ b)) pairs));
+        ("recommended_domains", Obs.Json.int (Domain.recommended_domain_count ()));
+        ("identical", Obs.Json.Bool identical);
+        ("fingerprint", Obs.Json.Str base_fp);
+        ( "sweep",
+          Obs.Json.Arr
+            (List.map
+               (fun (jobs, _, t) ->
+                 Obs.Json.Obj
+                   [
+                     ("jobs", Obs.Json.int jobs);
+                     ("median_s", Obs.Json.Num t);
+                     ("speedup", Obs.Json.Num (base_t /. t));
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_PARALLEL.json" in
+  output_string oc (Obs.Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_PARALLEL.json"

@@ -11,7 +11,8 @@
      --seed=N      generator seed
      --runs=N      repetitions per timed cell (median reported, default 3)
      --skip-sql    omit the SQL method from Table 2 (it is slow by design)
-     --l4-scale=F  extra down-scaling for the l = 4 build (default 0.6) *)
+     --l4-scale=F  extra down-scaling for the l = 4 build (default 0.6)
+     --jobs=N      domains for offline builds (default: engine's choice) *)
 
 let experiments =
   [
@@ -30,6 +31,7 @@ let experiments =
     ("ablations", Exp_ablations.run);
     ("micro", Exp_micro.run);
     ("profile", Exp_profile.run);
+    ("parallel", Exp_parallel.run);
   ]
 
 let parse_args () =
@@ -48,6 +50,7 @@ let parse_args () =
               | "seed" -> Bench_common.config.Bench_common.seed <- int_of_string value
               | "runs" -> Bench_common.config.Bench_common.runs <- int_of_string value
               | "l4-scale" -> Bench_common.config.Bench_common.l4_scale <- float_of_string value
+              | "jobs" -> Bench_common.config.Bench_common.jobs <- Some (int_of_string value)
               | _ -> bad arg)
           | None -> (
               match arg with

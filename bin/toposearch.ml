@@ -36,6 +36,15 @@ let t1_arg = Arg.(value & opt string "Protein" & info [ "t1" ] ~docv:"ENTITY" ~d
 
 let t2_arg = Arg.(value & opt string "DNA" & info [ "t2" ] ~docv:"ENTITY" ~doc:"Second entity set.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for the offline build (default: the machine's recommended domain count, capped \
+           at 8).  Results are bit-identical for every value.")
+
 let make_instance scale seed =
   Biozon.Generator.generate
     (Biozon.Generator.scale scale { Biozon.Generator.default with Biozon.Generator.seed = seed })
@@ -61,6 +70,56 @@ let demo () =
   0
 
 let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Run the paper's worked example.") Term.(const demo $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* build                                                                *)
+
+let pair_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
+    | _ -> Error (`Msg (Printf.sprintf "bad pair %S (expected T1:T2, e.g. Protein:DNA)" s))
+  in
+  let print fmt (a, b) = Format.fprintf fmt "%s:%s" a b in
+  Arg.conv (parse, print)
+
+let build_run scale seed l threshold jobs pairs =
+  let pairs = if pairs = [] then [ ("Protein", "DNA"); ("Protein", "Interaction") ] else pairs in
+  let catalog = make_instance scale seed in
+  let t0 = Unix.gettimeofday () in
+  let engine = Engine.build catalog ~pairs ~l ~pruning_threshold:threshold ?jobs () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "offline build: %d pair(s), l=%d, jobs=%d (recommended domains: %d)\n\n"
+    (List.length pairs) l engine.Engine.jobs
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (t1, t2, (s : Topo_core.Compute.stats)) ->
+      Printf.printf "%s-%s:\n" t1 t2;
+      Printf.printf "  schema paths   %d\n" s.Topo_core.Compute.schema_paths;
+      Printf.printf "  instance paths %d\n" s.Topo_core.Compute.instance_paths;
+      Printf.printf "  connected pairs %d\n" s.Topo_core.Compute.pairs;
+      Printf.printf "  unions         %d\n" s.Topo_core.Compute.unions;
+      if s.Topo_core.Compute.capped_pairs > 0 then
+        Printf.printf "  capped pairs   %d\n" s.Topo_core.Compute.capped_pairs)
+    engine.Engine.build_stats;
+  Printf.printf "\n%d distinct topologies registered\n"
+    (Topo_core.Topology.count engine.Engine.ctx.Topo_core.Context.registry);
+  Printf.printf "built in %.3fs\n" elapsed;
+  0
+
+let build_cmd =
+  let pairs =
+    Arg.(
+      value & opt_all pair_conv []
+      & info [ "pair" ] ~docv:"T1:T2"
+          ~doc:"Entity-set pair to precompute (repeatable; default Protein:DNA and Protein:Interaction).")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Run the offline phase only: topology computation for each requested pair, in parallel \
+          across $(b,--jobs) domains, printing per-pair sweep statistics.")
+    Term.(const build_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ jobs_arg $ pairs)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                                *)
@@ -500,6 +559,7 @@ let main_cmd =
        ~doc:"Topology search over biological databases (Guo, Shanmugasundaram, Yona).")
     [
       demo_cmd;
+      build_cmd;
       query_cmd;
       topologies_cmd;
       schema_cmd;

@@ -1,7 +1,9 @@
 module Dyn = Topo_util.Dyn
+module Pool = Topo_util.Pool
 module Sg = Topo_graph.Schema_graph
 module Dg = Topo_graph.Data_graph
 module Lgraph = Topo_graph.Lgraph
+module Canon = Topo_graph.Canon
 
 type caps = { max_reps_per_class : int; max_combos_per_pair : int; max_paths_per_class : int }
 
@@ -17,53 +19,19 @@ type stats = {
 
 type pair_row = { a : int; b : int; tids : int list; class_keys : string list }
 
-(* Per-pair accumulation: class key -> representatives (schema path +
-   concrete node ids). *)
-type bucket = {
-  mutable reps : (string * (Sg.path * int array) Dyn.t) list;
-  mutable capped : bool;
-}
+(* A representative of a path equivalence class: the schema path plus the
+   concrete node ids realizing it. *)
+type rep = Sg.path * int array
 
-(* Representatives are collected unbounded and truncated later against a
-   deterministic (sorted) order, so every code path — the offline sweep,
-   anchored recomputation, witness retrieval — selects the same sample and
-   the methods stay mutually consistent even on capped pairs. *)
-let bucket_add _caps bucket key path ids =
-  (* Normalize the representative's orientation (same-type pairs can
-     discover one instance from either end) so sorting is stable across
-     enumeration directions. *)
-  let path, ids =
-    let n = Array.length ids in
-    let rev_ids = Array.init n (fun i -> ids.(n - 1 - i)) in
-    if compare rev_ids ids < 0 then (Sg.reverse path, rev_ids) else (path, ids)
-  in
-  let dyn =
-    match List.assoc_opt key bucket.reps with
-    | Some d -> d
-    | None ->
-        let d = Dyn.create () in
-        bucket.reps <- (key, d) :: bucket.reps;
-        d
-  in
-  Dyn.push dyn (path, ids)
+(* Normalize a representative's orientation (same-type pairs can discover
+   one instance from either end) so sorting is stable across enumeration
+   directions. *)
+let normalize_rep path ids : rep =
+  let n = Array.length ids in
+  let rev_ids = Array.init n (fun i -> ids.(n - 1 - i)) in
+  if compare rev_ids ids < 0 then (Sg.reverse path, rev_ids) else (path, ids)
 
-let compare_reps ((_, ids_a) : Sg.path * int array) ((_, ids_b) : Sg.path * int array) =
-  compare ids_a ids_b
-
-let canonical_reps caps bucket =
-  List.map
-    (fun (key, d) ->
-      let arr = Dyn.to_array d in
-      Array.sort compare_reps arr;
-      let kept =
-        if Array.length arr > caps.max_reps_per_class then begin
-          bucket.capped <- true;
-          Array.sub arr 0 caps.max_reps_per_class
-        end
-        else arr
-      in
-      (key, kept))
-    bucket.reps
+let compare_reps ((_, ids_a) : rep) ((_, ids_b) : rep) = compare ids_a ids_b
 
 let union_of_representatives dg reps =
   let g = Lgraph.empty () in
@@ -80,11 +48,123 @@ let union_of_representatives dg reps =
     reps;
   g
 
-(* Definition 2: union one representative per class, over the (capped)
-   cartesian product of representatives; canonicalize and dedup. *)
-let topologies_of_bucket dg registry caps bucket ~unions_counter =
+(* ------------------------------------------------------------------ *)
+(* Staged sweep pipeline.
+
+   The offline sweep runs in three phases so the heavy work parallelizes
+   over a domain pool while TID assignment stays serial and deterministic:
+
+     enumerate_path   one task per schema path: enumerate its instance
+                      paths and bucket representatives by (first, last)
+                      entity pair.  Reads the data graph only (labels must
+                      be pre-interned via Dg.intern_path_labels).
+     merge_shards     coordinator: combine the per-path shards into one
+                      pending record per entity pair, classes in schema
+                      path order, pairs sorted by (a, b).
+     unions_of_pair   one task per pair: sort/truncate representatives,
+                      run the Definition 2 cartesian product of unions,
+                      canonicalize, dedup — producing canonical keys and
+                      representative graphs but no TIDs.
+     commit           coordinator: walk pairs in (a, b) order and register
+                      every topology, assigning TIDs at merge time only.
+                      jobs = n therefore yields bit-identical rows,
+                      registry contents and TIDs to jobs = 1. *)
+
+exception Path_budget
+
+type shard = {
+  sh_key : string;  (* the path's equivalence class key *)
+  sh_reps : (int * int, rep Dyn.t) Hashtbl.t;
+  sh_instances : int;
+}
+
+let enumerate_path dg caps ~same_type (p : Sg.path) =
+  let reps : (int * int, rep Dyn.t) Hashtbl.t = Hashtbl.create 1024 in
+  let count = ref 0 in
+  let handle ids =
+    incr count;
+    if !count > caps.max_paths_per_class then raise Path_budget;
+    let a0 = ids.(0) and b0 = ids.(Array.length ids - 1) in
+    let pk = if same_type && a0 > b0 then (b0, a0) else (a0, b0) in
+    let dyn =
+      match Hashtbl.find_opt reps pk with
+      | Some d -> d
+      | None ->
+          let d = Dyn.create () in
+          Hashtbl.add reps pk d;
+          d
+    in
+    Dyn.push dyn (normalize_rep p ids)
+  in
+  (try Dg.iter_instance_paths dg p ~f:handle with Path_budget -> ());
+  { sh_key = Sg.path_key p; sh_reps = reps; sh_instances = !count }
+
+let shard_instances sh = sh.sh_instances
+
+type pending = {
+  pd_a : int;
+  pd_b : int;
+  pd_classes : (string * rep array) Dyn.t;  (* schema path order *)
+}
+
+let merge_shards shards =
+  let merged : (int * int, (string * rep array) Dyn.t) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun sh ->
+      (* Sort each shard's pairs so the merge never depends on hash-table
+         iteration order. *)
+      let pairs = Hashtbl.fold (fun pk d acc -> (pk, d) :: acc) sh.sh_reps [] in
+      let pairs = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) pairs in
+      List.iter
+        (fun (pk, d) ->
+          let classes =
+            match Hashtbl.find_opt merged pk with
+            | Some c -> c
+            | None ->
+                let c = Dyn.create () in
+                Hashtbl.add merged pk c;
+                c
+          in
+          Dyn.push classes (sh.sh_key, Dyn.to_array d))
+        pairs)
+    shards;
+  let all = Hashtbl.fold (fun (a, b) classes acc -> { pd_a = a; pd_b = b; pd_classes = classes } :: acc) merged [] in
+  let arr = Array.of_list all in
+  Array.sort (fun p1 p2 -> compare (p1.pd_a, p1.pd_b) (p2.pd_a, p2.pd_b)) arr;
+  arr
+
+type proto = {
+  pr_a : int;
+  pr_b : int;
+  pr_topos : (string * Lgraph.t) list;  (* distinct canonical keys, discovery order *)
+  pr_class_keys : string list;  (* sorted *)
+  pr_combos : int;
+  pr_capped : bool;
+}
+
+let proto_combos pr = pr.pr_combos
+
+let proto_capped pr = pr.pr_capped
+
+(* Representatives were collected unbounded and are truncated here against
+   a deterministic (sorted) order, so every code path — the offline sweep,
+   anchored recomputation, witness retrieval — selects the same sample and
+   the methods stay mutually consistent even on capped pairs. *)
+let unions_of_pair dg caps pd =
+  let capped = ref false in
   let classes =
-    List.sort (fun ((ka : string), _) (kb, _) -> compare ka kb) (canonical_reps caps bucket)
+    Dyn.to_list pd.pd_classes
+    |> List.map (fun (key, arr) ->
+           Array.sort compare_reps arr;
+           let kept =
+             if Array.length arr > caps.max_reps_per_class then begin
+               capped := true;
+               Array.sub arr 0 caps.max_reps_per_class
+             end
+             else arr
+           in
+           (key, kept))
+    |> List.sort (fun ((ka : string), _) (kb, _) -> compare ka kb)
   in
   let class_keys = List.map fst classes in
   let rep_arrays = List.map snd classes in
@@ -92,16 +172,21 @@ let topologies_of_bucket dg registry caps bucket ~unions_counter =
   let counts = Array.of_list (List.map Array.length rep_arrays) in
   let reps = Array.of_list rep_arrays in
   let indices = Array.make n_classes 0 in
-  let tids = ref [] in
+  (* Definition 2: union one representative per class, over the (capped)
+     cartesian product of representatives; canonicalize and dedup. *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let topos = ref [] in
   let combos = ref 0 in
   let continue = ref true in
   while !continue do
     incr combos;
-    incr unions_counter;
     let chosen = List.init n_classes (fun c -> reps.(c).(indices.(c))) in
     let g = union_of_representatives dg chosen in
-    let t = Topology.register registry g ~decomposition:class_keys in
-    if not (List.mem t.Topology.tid !tids) then tids := t.Topology.tid :: !tids;
+    let key = Canon.key g in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      topos := (key, g) :: !topos
+    end;
     (* Odometer increment. *)
     let rec bump c =
       if c < 0 then continue := false
@@ -115,80 +200,90 @@ let topologies_of_bucket dg registry caps bucket ~unions_counter =
     in
     bump (n_classes - 1);
     if !combos >= caps.max_combos_per_pair && !continue then begin
-      bucket.capped <- true;
+      capped := true;
       continue := false
     end
   done;
-  (List.sort compare !tids, class_keys)
+  {
+    pr_a = pd.pd_a;
+    pr_b = pd.pd_b;
+    pr_topos = List.rev !topos;
+    pr_class_keys = class_keys;
+    pr_combos = !combos;
+    pr_capped = !capped;
+  }
+
+let commit registry protos =
+  Array.to_list protos
+  |> List.map (fun pr ->
+         let tids =
+           List.map
+             (fun (_, g) -> (Topology.register registry g ~decomposition:pr.pr_class_keys).Topology.tid)
+             pr.pr_topos
+         in
+         { a = pr.pr_a; b = pr.pr_b; tids = List.sort compare tids; class_keys = pr.pr_class_keys })
+
+let sweep_stats ~schema_paths ~shards ~protos ~rows =
+  {
+    schema_paths;
+    instance_paths = List.fold_left (fun acc sh -> acc + sh.sh_instances) 0 shards;
+    pairs = List.length rows;
+    unions = Array.fold_left (fun acc pr -> acc + pr.pr_combos) 0 protos;
+    capped_pairs = Array.fold_left (fun acc pr -> acc + if pr.pr_capped then 1 else 0) 0 protos;
+  }
 
 let schema_paths_between schema ~t1 ~t2 ~l = Sg.paths schema ~from_:t1 ~to_:t2 ~max_len:l
 
-exception Path_budget
+(* Chunk size for per-pair tasks: pairs are numerous and individually
+   small, so claim them in runs to keep pool cursor traffic negligible. *)
+let pair_chunk ~jobs n = max 1 (n / (jobs * 8))
 
-let alltops dg schema registry ~t1 ~t2 ~l ~caps ?(path_filter = fun _ -> true) () =
+let alltops dg schema registry ~t1 ~t2 ~l ~caps ?(path_filter = fun _ -> true) ?pool () =
   let paths = List.filter path_filter (schema_paths_between schema ~t1 ~t2 ~l) in
-  let buckets : (int * int, bucket) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter (Dg.intern_path_labels dg) paths;
   let same_type = t1 = t2 in
-  let instance_paths = ref 0 in
-  List.iter
-    (fun (p : Sg.path) ->
-      let key = Sg.path_key p in
-      let seen_for_path = ref 0 in
-      let handle ids =
-        incr instance_paths;
-        incr seen_for_path;
-        if !seen_for_path > caps.max_paths_per_class then raise Path_budget;
-        let a0 = ids.(0) and b0 = ids.(Array.length ids - 1) in
-        let pk = if same_type && a0 > b0 then (b0, a0) else (a0, b0) in
-        let bucket =
-          match Hashtbl.find_opt buckets pk with
-          | Some b -> b
-          | None ->
-              let b = { reps = []; capped = false } in
-              Hashtbl.add buckets pk b;
-              b
-        in
-        bucket_add caps bucket key p ids
-      in
-      try Dg.iter_instance_paths dg p ~f:handle with Path_budget -> ())
-    paths;
-  let unions_counter = ref 0 in
-  let rows =
-    Hashtbl.fold
-      (fun (a, b) bucket acc ->
-        let tids, class_keys = topologies_of_bucket dg registry caps bucket ~unions_counter in
-        { a; b; tids; class_keys } :: acc)
-      buckets []
-    |> List.sort (fun r1 r2 -> compare (r1.a, r1.b) (r2.a, r2.b))
+  let pmap ?chunk arr ~f =
+    match pool with Some p -> Pool.parallel_map ?chunk p arr ~f | None -> Array.map f arr
   in
-  let capped_pairs = Hashtbl.fold (fun _ b acc -> if b.capped then acc + 1 else acc) buckets 0 in
-  ( rows,
-    {
-      schema_paths = List.length paths;
-      instance_paths = !instance_paths;
-      pairs = List.length rows;
-      unions = !unions_counter;
-      capped_pairs;
-    } )
+  let shards = pmap (Array.of_list paths) ~f:(enumerate_path dg caps ~same_type) in
+  let pending = merge_shards (Array.to_list shards) in
+  let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+  let protos =
+    pmap ~chunk:(pair_chunk ~jobs (Array.length pending)) pending ~f:(unions_of_pair dg caps)
+  in
+  let rows = commit registry protos in
+  (rows, sweep_stats ~schema_paths:(List.length paths) ~shards:(Array.to_list shards) ~protos ~rows)
 
 let pair_topologies dg schema registry ~t1 ~t2 ~a ~b ~l ~caps =
   let paths = schema_paths_between schema ~t1 ~t2 ~l in
-  let bucket = { reps = []; capped = false } in
+  let by_key : (string, rep Dyn.t) Hashtbl.t = Hashtbl.create 16 in
+  let classes = Dyn.create () in
+  let push key path ids =
+    let dyn =
+      match Hashtbl.find_opt by_key key with
+      | Some d -> d
+      | None ->
+          let d = Dyn.create () in
+          Hashtbl.add by_key key d;
+          Dyn.push classes (key, d);
+          d
+    in
+    Dyn.push dyn (normalize_rep path ids)
+  in
   List.iter
     (fun (p : Sg.path) ->
       let key = Sg.path_key p in
-      Dg.iter_instance_paths_between dg p ~a ~b ~f:(fun ids -> bucket_add caps bucket key p ids);
+      Dg.iter_instance_paths_between dg p ~a ~b ~f:(fun ids -> push key p ids);
       (* When both endpoints have the same type, instances of this class may
          read as the reversed sequence from [a]. *)
       if t1 = t2 then begin
         let rev = Sg.reverse p in
-        if rev <> p then
-          Dg.iter_instance_paths_between dg rev ~a ~b ~f:(fun ids -> bucket_add caps bucket key rev ids)
+        if rev <> p then Dg.iter_instance_paths_between dg rev ~a ~b ~f:(fun ids -> push key rev ids)
       end)
     paths;
-  if bucket.reps = [] then { a; b; tids = []; class_keys = [] }
+  if Dyn.is_empty classes then { a; b; tids = []; class_keys = [] }
   else begin
-    let unions_counter = ref 0 in
-    let tids, class_keys = topologies_of_bucket dg registry caps bucket ~unions_counter in
-    { a; b; tids; class_keys }
+    let pd = { pd_a = a; pd_b = b; pd_classes = Dyn.map (fun (key, d) -> (key, Dyn.to_array d)) classes } in
+    let pr = unions_of_pair dg caps pd in
+    match commit registry [| pr |] with [ row ] -> row | _ -> assert false
   end

@@ -9,6 +9,14 @@
     (first, last) entity, and union one representative per path equivalence
     class over the cartesian product of representatives.
 
+    The sweep is staged so it can run on a {!Topo_util.Pool} of domains:
+    {!enumerate_path} (one task per schema path) and {!unions_of_pair}
+    (one task per entity pair) touch only the read-only data graph and
+    private accumulators, while {!merge_shards} and {!commit} run on the
+    coordinator.  TIDs are assigned only at {!commit}, walking pairs in
+    (a, b) order, so a parallel sweep produces bit-identical rows and
+    registry contents to a serial one.
+
     Caps bound the weak-relationship blowups the paper reports (up to 5000
     instances of one path class per pair, >1 day for l = 4): at most
     [max_reps_per_class] representatives per class enter the product and at
@@ -56,13 +64,15 @@ val pair_topologies :
   caps:caps ->
   pair_row
 
-(** [alltops dg schema registry ~t1 ~t2 ~l ~caps ?path_filter ()] runs the
-    offline sweep for the whole entity-set pair, returning every connected
-    pair's row and sweep statistics.  Rows are sorted by (a, b).
+(** [alltops dg schema registry ~t1 ~t2 ~l ~caps ?path_filter ?pool ()]
+    runs the offline sweep for the whole entity-set pair, returning every
+    connected pair's row and sweep statistics.  Rows are sorted by (a, b).
     [path_filter] drops schema paths before enumeration — the paper's
     proposed remedy for weak relationships ("use domain knowledge to prune
     such weak topologies", Section 6.2.3); pass
-    [fun p -> not (Weak.is_weak_path p)] to exclude them. *)
+    [fun p -> not (Weak.is_weak_path p)] to exclude them.  [pool], when
+    given, fans the enumeration and union phases out across its domains;
+    the result is bit-identical to the serial sweep. *)
 val alltops :
   Topo_graph.Data_graph.t ->
   Topo_graph.Schema_graph.t ->
@@ -72,8 +82,66 @@ val alltops :
   l:int ->
   caps:caps ->
   ?path_filter:(Topo_graph.Schema_graph.path -> bool) ->
+  ?pool:Topo_util.Pool.t ->
   unit ->
   pair_row list * stats
+
+(** [schema_paths_between schema ~t1 ~t2 ~l] lists the (deduplicated,
+    deterministically ordered) schema paths the sweep enumerates. *)
+val schema_paths_between :
+  Topo_graph.Schema_graph.t -> t1:string -> t2:string -> l:int -> Topo_graph.Schema_graph.path list
+
+(** {1 Staged sweep API}
+
+    {!Engine.build} flattens several entity-set pairs' sweeps into shared
+    task arrays over one pool; these are the stage functions it schedules.
+    A caller must pre-intern every path's labels
+    ({!Topo_graph.Data_graph.intern_path_labels}) before running
+    {!enumerate_path} or {!unions_of_pair} off the coordinator domain. *)
+
+(** Per-schema-path enumeration result: representatives bucketed by
+    (first, last) entity pair. *)
+type shard
+
+(** [enumerate_path dg caps ~same_type p] enumerates [p]'s instance paths
+    (read-only on [dg]).  [same_type] must be [t1 = t2] for the sweep's
+    entity-set pair: it canonicalizes pair keys as (min, max). *)
+val enumerate_path :
+  Topo_graph.Data_graph.t -> caps -> same_type:bool -> Topo_graph.Schema_graph.path -> shard
+
+(** [shard_instances sh] is the number of instance paths enumerated. *)
+val shard_instances : shard -> int
+
+(** One entity pair's merged representatives, ready for the union phase. *)
+type pending
+
+(** [merge_shards shards] combines per-path shards (pass them in schema
+    path order) into one pending record per entity pair, sorted by
+    (a, b).  Runs on the coordinator. *)
+val merge_shards : shard list -> pending array
+
+(** The union phase's output for one pair: canonical keys and
+    representative graphs, no TIDs yet. *)
+type proto
+
+(** [unions_of_pair dg caps pd] runs the Definition 2 union/canonicalize/
+    dedup product for one pair.  Pure apart from reads of [dg]. *)
+val unions_of_pair : Topo_graph.Data_graph.t -> caps -> pending -> proto
+
+val proto_combos : proto -> int
+
+val proto_capped : proto -> bool
+
+(** [commit registry protos] registers every topology, assigning TIDs in
+    array order (sort protos by (a, b) first — {!merge_shards} already
+    does), and returns the final rows.  Must run on the single domain that
+    owns [registry]. *)
+val commit : Topology.registry -> proto array -> pair_row list
+
+(** [sweep_stats ~schema_paths ~shards ~protos ~rows] assembles the sweep
+    statistics from the stage outputs. *)
+val sweep_stats :
+  schema_paths:int -> shards:shard list -> protos:proto array -> rows:pair_row list -> stats
 
 (** [union_of_representatives dg reps] builds the instance subgraph that is
     the union of the given paths (each as (schema_path, node ids)); exposed

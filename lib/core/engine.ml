@@ -1,4 +1,6 @@
-type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list }
+module Pool = Topo_util.Pool
+
+type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list; jobs : int }
 
 type method_ =
   | Sql
@@ -35,8 +37,18 @@ let method_name = function
   | Full_top_k_opt -> "Full-Top-k-Opt"
   | Fast_top_k_opt -> "Fast-Top-k-Opt"
 
+(* The offline phase, parallelized on a domain pool.  The per-entity-pair
+   sweeps are flattened into two shared task arrays — one task per
+   (pair, schema path) for instance enumeration, one per (pair, entity
+   pair) for the union product — so a build over few entity-set pairs
+   still saturates the pool.  All shared-state writes (intern pool, the
+   topology registry, the catalog's derived tables) stay on the
+   coordinator domain: labels are pre-interned before fan-out, and TIDs
+   are assigned only at commit, in entity-pair declaration order then
+   (a, b) order.  A [~jobs:n] build is therefore bit-identical to
+   [~jobs:1]. *)
 let build catalog ~pairs ?(l = 3) ?(caps = Compute.default_caps) ?(pruning_threshold = 50)
-    ?(exclude_weak = false) ?(min_reliability = 0.0) () =
+    ?(exclude_weak = false) ?(min_reliability = 0.0) ?jobs () =
   let interner = Topo_util.Interner.create () in
   let dg = Biozon.Bschema.data_graph catalog interner in
   let schema = Biozon.Bschema.schema_graph () in
@@ -54,21 +66,70 @@ let build catalog ~pairs ?(l = 3) ?(caps = Compute.default_caps) ?(pruning_thres
       stores = Hashtbl.create 8;
     }
   in
-  let build_stats =
-    List.map
-      (fun (t1, t2) ->
-        Context.register_class_paths ctx ~t1 ~t2;
-        let path_filter p =
-          ((not exclude_weak) || not (Weak.is_weak_path p))
-          && Weak.path_reliability p >= min_reliability
-        in
-        let rows, stats = Compute.alltops dg schema registry ~t1 ~t2 ~l ~caps ~path_filter () in
-        let store = Store.build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold in
-        Hashtbl.replace ctx.Context.stores (t1, t2) store;
-        (t1, t2, stats))
-      pairs
+  let path_filter p =
+    ((not exclude_weak) || not (Weak.is_weak_path p)) && Weak.path_reliability p >= min_reliability
   in
-  { ctx; build_stats }
+  Pool.with_pool ?jobs (fun pool ->
+      let pair_paths =
+        List.map
+          (fun (t1, t2) ->
+            Context.register_class_paths ctx ~t1 ~t2;
+            let paths = List.filter path_filter (Compute.schema_paths_between schema ~t1 ~t2 ~l) in
+            List.iter (Topo_graph.Data_graph.intern_path_labels dg) paths;
+            (t1, t2, paths))
+          pairs
+      in
+      let n_pairs = List.length pair_paths in
+      (* Phase A: instance enumeration, one task per (pair, schema path). *)
+      let enum_tasks =
+        Array.of_list
+          (List.concat
+             (List.mapi
+                (fun i (t1, t2, paths) -> List.map (fun p -> (i, (t1 : string) = t2, p)) paths)
+                pair_paths))
+      in
+      let shards =
+        Pool.parallel_map pool enum_tasks ~f:(fun (_, same_type, p) ->
+            Compute.enumerate_path dg caps ~same_type p)
+      in
+      let shards_by_pair = Array.make n_pairs [] in
+      Array.iteri
+        (fun idx (i, _, _) -> shards_by_pair.(i) <- shards.(idx) :: shards_by_pair.(i))
+        enum_tasks;
+      let shards_by_pair = Array.map List.rev shards_by_pair in
+      (* Phase B: the union/canonicalize product, one task per entity pair,
+         claimed in chunks (pairs are numerous and individually small). *)
+      let pendings = Array.map Compute.merge_shards shards_by_pair in
+      let union_tasks = Array.concat (Array.to_list pendings) in
+      let chunk = max 1 (Array.length union_tasks / (Pool.jobs pool * 8)) in
+      let protos = Pool.parallel_map ~chunk pool union_tasks ~f:(Compute.unions_of_pair dg caps) in
+      let protos_by_pair =
+        let out = Array.map (fun pds -> Array.make (Array.length pds) None) pendings in
+        let cursor = ref 0 in
+        Array.iteri
+          (fun i pds ->
+            Array.iteri
+              (fun j _ ->
+                out.(i).(j) <- Some protos.(!cursor);
+                incr cursor)
+              pds)
+          pendings;
+        Array.map (Array.map (function Some pr -> pr | None -> assert false)) out
+      in
+      (* Phase C: commit + store build, coordinator only, declared order. *)
+      let build_stats =
+        List.mapi
+          (fun i (t1, t2, paths) ->
+            let rows = Compute.commit registry protos_by_pair.(i) in
+            let store = Store.build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold in
+            Hashtbl.replace ctx.Context.stores (t1, t2) store;
+            ( t1,
+              t2,
+              Compute.sweep_stats ~schema_paths:(List.length paths) ~shards:shards_by_pair.(i)
+                ~protos:protos_by_pair.(i) ~rows ))
+          pair_paths
+      in
+      { ctx; build_stats; jobs = Pool.jobs pool })
 
 type result = {
   ranked : (int * float option) list;

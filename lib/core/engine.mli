@@ -6,7 +6,11 @@
     registers the derived tables.  [run] evaluates a query online with any
     of the nine methods. *)
 
-type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list }
+type t = {
+  ctx : Context.t;
+  build_stats : (string * string * Compute.stats) list;
+  jobs : int;  (** parallelism degree the offline build actually used *)
+}
 
 type method_ =
   | Sql
@@ -32,7 +36,14 @@ val method_name : method_ -> string
     for the synthetic instance size).  [exclude_weak] (default false)
     drops weak schema paths from the sweep — the Section 6.2.3 remedy —
     and [min_reliability] is the graded alternative (keep only schema
-    paths with {!Weak.path_reliability} at or above the threshold). *)
+    paths with {!Weak.path_reliability} at or above the threshold).
+
+    [jobs] sets the parallelism of the offline sweep (default
+    {!Topo_util.Pool.default_jobs}: [Domain.recommended_domain_count]
+    capped at 8).  The build fans instance enumeration and the union
+    product out across a domain pool but keeps every shared-state write on
+    the calling domain; the produced derived tables, registry and TIDs are
+    bit-identical for every [jobs] value. *)
 val build :
   Topo_sql.Catalog.t ->
   pairs:(string * string) list ->
@@ -41,6 +52,7 @@ val build :
   ?pruning_threshold:int ->
   ?exclude_weak:bool ->
   ?min_reliability:float ->
+  ?jobs:int ->
   unit ->
   t
 

@@ -39,6 +39,27 @@ let register reg graph ~decomposition =
       Topo_util.Dyn.push reg.by_tid t;
       t
 
+(* Merge a shard-local registry into [into]: every topology of [src] is
+   re-registered in TID order with each of its decompositions in recorded
+   order, so the merge is deterministic and idempotent.  Returns the
+   src-TID -> dst-TID remap. *)
+let absorb ~into src =
+  let remap = Hashtbl.create 64 in
+  Topo_util.Dyn.iter
+    (fun (t : t) ->
+      let merged =
+        List.fold_left
+          (fun _ decomposition -> register into t.graph ~decomposition)
+          (register into t.graph ~decomposition:t.decomposition)
+          t.decompositions
+      in
+      Hashtbl.replace remap t.tid merged.tid)
+    src.by_tid;
+  fun tid ->
+    match Hashtbl.find_opt remap tid with
+    | Some tid' -> tid'
+    | None -> raise Not_found
+
 let find reg tid =
   if tid < 1 || tid > Topo_util.Dyn.length reg.by_tid then raise Not_found;
   Topo_util.Dyn.get reg.by_tid (tid - 1)

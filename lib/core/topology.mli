@@ -32,6 +32,15 @@ val create_registry : unit -> registry
     registrations with a new decomposition extend [decompositions]. *)
 val register : registry -> Topo_graph.Lgraph.t -> decomposition:string list -> t
 
+(** [absorb ~into src] merges a shard-local registry into [into]: every
+    topology of [src] is re-registered in src-TID order, carrying all of its
+    recorded decompositions, so the merge is deterministic (given the same
+    [into] and [src] states) and idempotent.  Returns the src-TID ->
+    merged-TID remap.
+    @raise Not_found when the returned function is applied to a TID that was
+    not in [src]. *)
+val absorb : into:registry -> registry -> int -> int
+
 (** [find registry tid].  @raise Not_found for unknown TIDs. *)
 val find : registry -> int -> t
 

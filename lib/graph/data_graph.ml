@@ -72,6 +72,10 @@ let node_type_label t id =
 
 let interner t = t.pool
 
+let intern_path_labels t (p : Schema_graph.path) =
+  Array.iter (fun ty -> ignore (node_label_of t ty)) p.Schema_graph.types;
+  Array.iter (fun rel -> ignore (edge_label_of t rel)) p.Schema_graph.rels
+
 let is_palindromic (p : Schema_graph.path) = p = Schema_graph.reverse p
 
 (* Walk the schema path from [source], position by position, keeping the

@@ -39,6 +39,12 @@ val node_type_label : t -> int -> int
 (** [interner t]. *)
 val interner : t -> Topo_util.Interner.t
 
+(** [intern_path_labels t path] interns every ["n:<ty>"] / ["e:<rel>"]
+    label the path mentions.  Call it before fanning path enumeration out
+    to other domains: afterwards enumeration over [path] only {e reads}
+    the shared intern pool, so concurrent traversals are safe. *)
+val intern_path_labels : t -> Schema_graph.path -> unit
+
 (** [iter_instance_paths t path ~f] calls [f] with the node-id array of
     every simple instance path realizing the schema [path] (oriented as
     given), each instance exactly once: for a palindromic label sequence

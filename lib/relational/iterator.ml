@@ -8,46 +8,55 @@ type t = {
 }
 
 module Counters = struct
-  let tuples_c = ref 0
+  (* Atomic so operators running on worker domains (e.g. a future parallel
+     online phase) never lose increments.  [reset]/[with_reset] are
+     coordinator-only: see below. *)
+  let tuples_c = Atomic.make 0
 
-  let probes_c = ref 0
+  let probes_c = Atomic.make 0
 
-  let scanned_c = ref 0
+  let scanned_c = Atomic.make 0
 
   let reset () =
-    tuples_c := 0;
-    probes_c := 0;
-    scanned_c := 0
+    Atomic.set tuples_c 0;
+    Atomic.set probes_c 0;
+    Atomic.set scanned_c 0
 
-  let tuples () = !tuples_c
+  let tuples () = Atomic.get tuples_c
 
-  let index_probes () = !probes_c
+  let index_probes () = Atomic.get probes_c
 
-  let rows_scanned () = !scanned_c
+  let rows_scanned () = Atomic.get scanned_c
 
-  let add_tuples n = tuples_c := !tuples_c + n
+  let add_tuples n = ignore (Atomic.fetch_and_add tuples_c n)
 
-  let add_probes n = probes_c := !probes_c + n
+  let add_probes n = ignore (Atomic.fetch_and_add probes_c n)
 
-  let add_scanned n = scanned_c := !scanned_c + n
+  let add_scanned n = ignore (Atomic.fetch_and_add scanned_c n)
 
   type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
 
+  let current () =
+    { tuples = Atomic.get tuples_c; index_probes = Atomic.get probes_c; rows_scanned = Atomic.get scanned_c }
+
+  (* Single-coordinator assumption: the save/zero/restore sequence is not
+     atomic, so exactly one domain may scope counters at a time — queries
+     are evaluated on the coordinator domain only.  Increments from other
+     domains are individually safe (Atomic) but land in whichever scope is
+     open.  Overlapping [with_reset] calls must nest, never interleave. *)
   let with_reset f =
-    let saved = { tuples = !tuples_c; index_probes = !probes_c; rows_scanned = !scanned_c } in
+    let saved = current () in
     reset ();
+    let scoped = ref { tuples = 0; index_probes = 0; rows_scanned = 0 } in
     let restore () =
-      let did = { tuples = !tuples_c; index_probes = !probes_c; rows_scanned = !scanned_c } in
-      tuples_c := saved.tuples + did.tuples;
-      probes_c := saved.index_probes + did.index_probes;
-      scanned_c := saved.rows_scanned + did.rows_scanned;
-      did
+      let did = current () in
+      Atomic.set tuples_c (saved.tuples + did.tuples);
+      Atomic.set probes_c (saved.index_probes + did.index_probes);
+      Atomic.set scanned_c (saved.rows_scanned + did.rows_scanned);
+      scoped := did
     in
-    match f () with
-    | result -> (result, restore ())
-    | exception e ->
-        ignore (restore ());
-        raise e
+    let result = Fun.protect ~finally:restore f in
+    (result, !scoped)
 end
 
 let ungrouped ~schema ~open_ ~next ~close =

@@ -25,17 +25,23 @@ type t = {
   last_group : unit -> int;
 }
 
-(** Work counters, reset per query by the harness. *)
+(** Work counters, reset per query by the harness.  Increments are atomic,
+    so operators running on worker domains never lose counts.  Scoping
+    ([reset], [with_reset]) assumes a {e single coordinator}: exactly one
+    domain opens and closes counter scopes (queries are evaluated on the
+    coordinator domain only), and [with_reset] calls nest but must never
+    interleave across domains. *)
 module Counters : sig
   val reset : unit -> unit
 
-  (** A consistent reading of all counters. *)
+  (** A reading of all counters (each read individually atomic). *)
   type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
 
   (** [with_reset f] runs [f] against zeroed counters and returns its result
       together with the work it performed.  The counts accumulated before
       the call are restored afterwards — with [f]'s work added on top, so an
-      enclosing [with_reset] still observes everything.  Exception-safe. *)
+      enclosing [with_reset] still observes everything.  Exception-safe
+      ([Fun.protect]): prior values are restored even when [f] raises. *)
   val with_reset : (unit -> 'a) -> 'a * snapshot
 
   (** Tuples returned by any operator's [next]. *)

@@ -9,6 +9,7 @@ type t = {
   mutable indexes : ((Index.kind * string list) * Index.t) list;
   mutable indexed_upto : int;  (* row count when indexes were built *)
   mutable byte_size : int;
+  mutable snapshot : Tuple.t array option;  (* cache for [rows], dropped on insert *)
 }
 
 let create ~name ~schema ?primary_key () =
@@ -29,6 +30,7 @@ let create ~name ~schema ?primary_key () =
     indexes = [];
     indexed_upto = 0;
     byte_size = 0;
+    snapshot = None;
   }
 
 let name t = t.name
@@ -48,6 +50,7 @@ let insert t tuple =
         invalid_arg (Printf.sprintf "Table.insert(%s): duplicate primary key %s" t.name (Value.to_string key));
       Hashtbl.add t.pk_index key (Dyn.length t.rows));
   Dyn.push t.rows tuple;
+  t.snapshot <- None;
   t.byte_size <- t.byte_size + Tuple.width tuple
 
 let insert_values t values = insert t (Array.of_list values)
@@ -56,7 +59,13 @@ let row_count t = Dyn.length t.rows
 
 let get t rowno = Dyn.get t.rows rowno
 
-let rows t = Dyn.to_array t.rows
+let rows t =
+  match t.snapshot with
+  | Some a -> a
+  | None ->
+      let a = Dyn.to_array t.rows in
+      t.snapshot <- Some a;
+      a
 
 let iter f t = Dyn.iteri f t.rows
 
@@ -94,4 +103,5 @@ let truncate t =
   Hashtbl.reset t.pk_index;
   t.indexes <- [];
   t.indexed_upto <- 0;
-  t.byte_size <- 0
+  t.byte_size <- 0;
+  t.snapshot <- None

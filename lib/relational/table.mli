@@ -31,7 +31,11 @@ val row_count : t -> int
 (** [get t rowno] fetches by physical row number. *)
 val get : t -> int -> Tuple.t
 
-(** [rows t] is a snapshot array of all rows (shared tuples, fresh array). *)
+(** [rows t] is a snapshot array of all rows (shared tuples).  The array is
+    cached and returned again by later calls until the next insert or
+    truncate, so repeated index builds and scans over a frozen table — the
+    bulk-load-then-query lifecycle — copy nothing.  Treat it as read-only:
+    mutating it corrupts every other holder of the snapshot. *)
 val rows : t -> Tuple.t array
 
 (** [iter f t] applies [f rowno tuple] in physical order. *)
