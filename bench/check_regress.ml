@@ -1,0 +1,81 @@
+(* Benchmark regression gate for CI.
+
+   Reads BENCH_PARALLEL.json and BENCH_SERVE.json (produced by
+   `bench/main.exe -- parallel serve` at smoke scale) and fails unless:
+
+   - both report `identical = true` (jobs > 1 output bit-identical to
+     jobs = 1 — the correctness half of the gate);
+   - the serve tier reported zero per-query errors;
+   - serve throughput at jobs = 4 is at least MIN_RATIO x the jobs = 1
+     throughput (sanity floor, not a strict perf SLA: it demands that
+     adding domains does not make serving slower, with a 5% allowance
+     for timer noise — the serve tier caps jobs at the core count, so on
+     a single-core runner both cells measure the same configuration and
+     only noise separates them.  Override with SERVE_MIN_SPEEDUP).
+
+   Usage: dune exec bench/check_regress.exe [PARALLEL.json SERVE.json] *)
+
+module Json = Topo_obs.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let read_json path =
+  match open_in path with
+  | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Json.parse text with
+      | Ok v -> v
+      | Error msg -> fail "%s: malformed JSON (%s)" path msg)
+  | exception Sys_error msg -> fail "%s" msg
+
+let get path v key =
+  match Json.member key v with Some x -> x | None -> fail "%s: missing field %S" path key
+
+let as_bool path key = function Json.Bool b -> b | _ -> fail "%s: %S is not a bool" path key
+
+let as_num path key = function Json.Num n -> n | _ -> fail "%s: %S is not a number" path key
+
+let check_identical path v =
+  if not (as_bool path "identical" (get path v "identical")) then
+    fail "%s: jobs>1 output differs from jobs=1 (identical=false)" path;
+  Printf.printf "ok: %s fingerprints identical across jobs values\n" path
+
+let sweep_field path v ~jobs key =
+  let sweep = match get path v "sweep" with Json.Arr l -> l | _ -> fail "%s: sweep is not an array" path in
+  let entry =
+    List.find_opt
+      (fun e -> match Json.member "jobs" e with Some (Json.Num n) -> int_of_float n = jobs | _ -> false)
+      sweep
+  in
+  match entry with
+  | None -> fail "%s: no sweep entry for jobs=%d" path jobs
+  | Some e -> as_num path key (get path e key)
+
+let () =
+  let parallel_path, serve_path =
+    match Sys.argv with
+    | [| _ |] -> ("BENCH_PARALLEL.json", "BENCH_SERVE.json")
+    | [| _; p; s |] -> (p, s)
+    | _ ->
+        prerr_endline "usage: check_regress [BENCH_PARALLEL.json BENCH_SERVE.json]";
+        exit 2
+  in
+  let parallel = read_json parallel_path in
+  let serve = read_json serve_path in
+  check_identical parallel_path parallel;
+  check_identical serve_path serve;
+  let errors = sweep_field serve_path serve ~jobs:1 "errors" in
+  if errors <> 0.0 then fail "%s: serve reported %g per-query errors" serve_path errors;
+  let qps1 = sweep_field serve_path serve ~jobs:1 "qps" in
+  let qps4 = sweep_field serve_path serve ~jobs:4 "qps" in
+  let min_ratio =
+    match Sys.getenv_opt "SERVE_MIN_SPEEDUP" with
+    | Some s -> (match float_of_string_opt s with Some f -> f | None -> fail "bad SERVE_MIN_SPEEDUP %S" s)
+    | None -> 0.95
+  in
+  Printf.printf "serve throughput: jobs=1 %.1f qps, jobs=4 %.1f qps (ratio %.2f, floor %.2f)\n" qps1
+    qps4 (qps4 /. qps1) min_ratio;
+  if qps4 < min_ratio *. qps1 then
+    fail "serve throughput regressed: jobs=4 (%.1f qps) < %.2f x jobs=1 (%.1f qps)" qps4 min_ratio qps1;
+  print_endline "ok: serve jobs=4 throughput at or above the jobs=1 floor"

@@ -1,0 +1,132 @@
+(* Serve — the online serving tier across OCaml 5 domains.
+
+   Builds the main l = 3 engine once, assembles a mixed workload that
+   exercises all nine methods (three ranking schemes, three predicate
+   selectivities, two entity-set pairs), and serves the batch with jobs
+   in {1, 2, 4, 8}.  Asserts that every jobs value yields a bit-identical
+   outcome fingerprint — ranked lists with scores, strategy choices and
+   per-query isolated counters — and reports median batch time, queries
+   per second and speedup to BENCH_SERVE.json.
+
+   As with the parallel-build sweep, the speedup column only means
+   something on multi-core machines; the determinism assertion is the part
+   that must hold everywhere. *)
+
+open Bench_common
+module Obs = Topo_obs
+module Serve = Topo_core.Serve
+
+let jobs_sweep = [ 1; 2; 4; 8 ]
+
+(* How many times the base mixed batch is repeated per serve call: enough
+   work that pool startup and scheduling noise do not dominate. *)
+let batch_repeat = 3
+
+let mixed_workload engine =
+  let catalog = (engine : Engine.t).Engine.ctx.Topo_core.Context.catalog in
+  let schemes = [ Ranking.Freq; Ranking.Rare; Ranking.Domain ] in
+  let pd_queries =
+    (* Protein-DNA: keyword grid on the protein side. *)
+    List.map
+      (fun kw1 ->
+        Query.make
+          (if kw1 = "" then Query.endpoint catalog "Protein"
+           else Query.keyword catalog "Protein" ~col:"desc" ~kw:kw1)
+          (Query.endpoint catalog "DNA"))
+      [ "kinase"; "enzyme"; "" ]
+  in
+  let pi_queries =
+    (* Protein-Interaction: the Table 2 selectivity grid. *)
+    List.map
+      (fun (sel, _) -> grid_query catalog ~protein_sel:sel ~interaction_sel:sel)
+      selectivities
+  in
+  let queries = pd_queries @ pi_queries in
+  List.concat_map
+    (fun method_ ->
+      List.mapi
+        (fun i q ->
+          Serve.request ~scheme:(List.nth schemes (i mod 3)) ~k:10 method_ q)
+        queries)
+    Engine.all_methods
+
+let median times =
+  let a = Array.of_list times in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let run () =
+  Pretty.section "Serve — concurrent online queries across OCaml 5 domains";
+  let engine, _ = engine_l3 () in
+  let base = mixed_workload engine in
+  let requests = List.concat (List.init batch_repeat (fun _ -> base)) in
+  let runs = max 1 config.runs in
+  Printf.printf
+    "%d-query mixed batch (all nine methods x schemes x selectivities, x%d), %d run(s) per jobs \
+     value, recommended domains: %d\n\n"
+    (List.length requests) batch_repeat runs
+    (Domain.recommended_domain_count ());
+  let results =
+    List.map
+      (fun jobs ->
+        let samples =
+          List.init runs (fun _ ->
+              let outcomes, stats = Serve.run ~jobs engine requests in
+              (Digest.to_hex (Digest.string (Serve.fingerprint outcomes)), stats))
+        in
+        let fp = fst (List.hd samples) in
+        List.iter
+          (fun (fp', _) -> if fp' <> fp then failwith "serve is not deterministic across runs")
+          samples;
+        let med = median (List.map (fun (_, s) -> s.Serve.elapsed_s) samples) in
+        let errors = (snd (List.hd samples)).Serve.errors in
+        (jobs, fp, med, errors))
+      jobs_sweep
+  in
+  let base_fp, base_t =
+    match results with (1, fp, t, _) :: _ -> (fp, t) | _ -> assert false
+  in
+  let identical = List.for_all (fun (_, fp, _, _) -> fp = base_fp) results in
+  let qps t = float_of_int (List.length requests) /. t in
+  Printf.printf "%-6s %-10s %-10s %-8s %s\n" "jobs" "median_s" "qps" "speedup" "fingerprint";
+  List.iter
+    (fun (jobs, fp, t, _) ->
+      Printf.printf "%-6d %-10.3f %-10.1f %-8.2f %s%s\n" jobs t (qps t) (base_t /. t) fp
+        (if fp = base_fp then "" else "  MISMATCH"))
+    results;
+  if not identical then
+    failwith "serve tier is not deterministic: fingerprints differ across jobs values";
+  if List.exists (fun (_, _, _, errors) -> errors > 0) results then
+    failwith "serve tier reported per-query errors on a healthy workload";
+  Printf.printf "\nall %d batches bit-identical to jobs=1\n" (List.length results);
+  let json =
+    Obs.Json.Obj
+      [
+        ("scale", Obs.Json.Num config.scale);
+        ("seed", Obs.Json.int config.seed);
+        ("runs", Obs.Json.int runs);
+        ("queries", Obs.Json.int (List.length requests));
+        ("batch_repeat", Obs.Json.int batch_repeat);
+        ("recommended_domains", Obs.Json.int (Domain.recommended_domain_count ()));
+        ("identical", Obs.Json.Bool identical);
+        ("fingerprint", Obs.Json.Str base_fp);
+        ( "sweep",
+          Obs.Json.Arr
+            (List.map
+               (fun (jobs, _, t, errors) ->
+                 Obs.Json.Obj
+                   [
+                     ("jobs", Obs.Json.int jobs);
+                     ("median_s", Obs.Json.Num t);
+                     ("qps", Obs.Json.Num (qps t));
+                     ("speedup", Obs.Json.Num (base_t /. t));
+                     ("errors", Obs.Json.int errors);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_SERVE.json" in
+  output_string oc (Obs.Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_SERVE.json"

@@ -32,6 +32,7 @@ let experiments =
     ("micro", Exp_micro.run);
     ("profile", Exp_profile.run);
     ("parallel", Exp_parallel.run);
+    ("serve", Exp_serve.run);
   ]
 
 let parse_args () =

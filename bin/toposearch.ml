@@ -10,7 +10,9 @@
      check       lint SQL queries with the physical-plan verifier
      explain     show a query's plan with estimates; --analyze executes it
                  instrumented and prints estimate-vs-actual per operator
-     profile     run a query method under a trace and print the span tree *)
+     profile     run a query method under a trace and print the span tree
+     serve       evaluate a batch of queries concurrently across domains
+                 (the online serving tier) *)
 
 open Cmdliner
 module Engine = Topo_core.Engine
@@ -483,6 +485,174 @@ let profile_cmd =
       $ kw2 $ method_ $ scheme $ k $ json_out)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+module Serve = Topo_core.Serve
+
+(* Workload file: one request per line,
+     METHOD[; scheme[; k[; kw1[; kw2]]]]
+   Empty fields take defaults (Freq, 10, no keyword); `#` starts a
+   comment.  Keywords constrain the endpoint's `desc` column. *)
+let parse_workload_line catalog ~t1 ~t2 lineno line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let fields = String.split_on_char ';' line |> List.map String.trim in
+  match fields with
+  | [] | [ "" ] -> None
+  | m :: rest -> (
+      let fail msg =
+        Printf.eprintf "workload line %d: %s\n" lineno msg;
+        exit 2
+      in
+      let get i = Option.value ~default:"" (List.nth_opt rest i) in
+      match
+        List.find_opt
+          (fun mm -> String.lowercase_ascii (Engine.method_name mm) = String.lowercase_ascii m)
+          Engine.all_methods
+      with
+      | None -> fail (Printf.sprintf "unknown method %S" m)
+      | Some method_ ->
+          let scheme =
+            if get 0 = "" then Ranking.Freq
+            else try Ranking.of_name (get 0) with Invalid_argument _ -> fail ("unknown scheme " ^ get 0)
+          in
+          let k =
+            if get 1 = "" then 10
+            else match int_of_string_opt (get 1) with Some k -> k | None -> fail ("bad k " ^ get 1)
+          in
+          let ep entity kw =
+            if kw = "" then Query.endpoint catalog entity
+            else Query.keyword catalog entity ~col:"desc" ~kw
+          in
+          Some (Serve.request ~scheme ~k method_ (Query.make (ep t1 (get 2)) (ep t2 (get 3)))))
+
+let read_workload catalog ~t1 ~t2 path =
+  match open_in path with
+  | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      String.split_on_char '\n' text
+      |> List.mapi (fun i line -> parse_workload_line catalog ~t1 ~t2 (i + 1) line)
+      |> List.filter_map Fun.id
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+
+(* Default mixed workload: all nine methods, three selectivities each. *)
+let default_workload catalog ~t1 ~t2 =
+  let schemes = [| Ranking.Freq; Ranking.Rare; Ranking.Domain |] in
+  List.concat_map
+    (fun method_ ->
+      List.mapi
+        (fun i kw1 ->
+          let e1 = if kw1 = "" then Query.endpoint catalog t1 else Query.keyword catalog t1 ~col:"desc" ~kw:kw1 in
+          let e2 = Query.endpoint catalog t2 in
+          Serve.request ~scheme:schemes.(i mod 3) ~k:10 method_ (Query.make e1 e2))
+        [ "kinase"; "enzyme"; "" ])
+    Engine.all_methods
+
+let serve_run scale seed l threshold t1 t2 jobs file repeat traces check =
+  let catalog = make_instance scale seed in
+  let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let base =
+    match file with
+    | Some path -> read_workload catalog ~t1 ~t2 path
+    | None -> default_workload catalog ~t1 ~t2
+  in
+  if base = [] then begin
+    prerr_endline "empty workload";
+    exit 2
+  end;
+  let requests = List.concat (List.init (max 1 repeat) (fun _ -> base)) in
+  let outcomes, stats = Serve.run ?jobs ~traces engine requests in
+  List.iteri
+    (fun i (o : Serve.outcome) ->
+      if i < List.length base then
+        match o.Serve.result with
+        | Ok r ->
+            Printf.printf "%3d. %-14s %2d result(s)  [tuples %d, probes %d, scanned %d]\n" (i + 1)
+              (Engine.method_name o.Serve.request.Serve.method_)
+              (List.length r.Engine.ranked) o.Serve.counters.Topo_sql.Iterator.Counters.tuples
+              o.Serve.counters.Topo_sql.Iterator.Counters.index_probes
+              o.Serve.counters.Topo_sql.Iterator.Counters.rows_scanned
+        | Error e ->
+            Printf.printf "%3d. %-14s ERROR %s\n" (i + 1)
+              (Engine.method_name o.Serve.request.Serve.method_)
+              (Printexc.to_string e))
+    outcomes;
+  if traces then begin
+    print_newline ();
+    List.iteri
+      (fun i (o : Serve.outcome) ->
+        match o.Serve.trace with
+        | Some tr when i < List.length base ->
+            Printf.printf "-- query %d (%s), %d span(s)\n%s" (i + 1)
+              (Engine.method_name o.Serve.request.Serve.method_)
+              (Obs.Trace.span_count tr) (Obs.Trace.to_text tr)
+        | Some _ | None -> ())
+      outcomes
+  end;
+  Printf.printf
+    "\nserved %d quer%s (%d error%s) in %.3fs on %d domain(s), jobs=%d: %.1f queries/s\n"
+    stats.Serve.queries
+    (if stats.Serve.queries = 1 then "y" else "ies")
+    stats.Serve.errors
+    (if stats.Serve.errors = 1 then "" else "s")
+    stats.Serve.elapsed_s stats.Serve.domains_used stats.Serve.jobs stats.Serve.throughput_qps;
+  if check then begin
+    let seq_outcomes, _ = Serve.run ~jobs:1 engine requests in
+    if Serve.fingerprint outcomes = Serve.fingerprint seq_outcomes then begin
+      print_endline "determinism check: concurrent results bit-identical to jobs=1";
+      0
+    end
+    else begin
+      print_endline "determinism check FAILED: concurrent results differ from jobs=1";
+      1
+    end
+  end
+  else 0
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains for concurrent query evaluation (default: the machine's recommended domain \
+             count, capped at 8).  Results are bit-identical for every value.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Workload file: one request per line, `METHOD[; scheme[; k[; kw1[; kw2]]]]` with `#` \
+             comments (see examples/workload.txt).  Default: a mixed batch of all nine methods at \
+             three selectivities.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"R" ~doc:"Serve the workload $(docv) times over (stress/throughput runs).")
+  in
+  let traces = Arg.(value & flag & info [ "traces" ] ~doc:"Attach a private trace to every query and print each span tree.") in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Re-run the batch at jobs=1 and fail unless results are bit-identical.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Evaluate a batch of topology queries concurrently across OCaml domains (the online \
+          serving tier): shared read-only stores, per-domain engine handles, per-query counters \
+          and traces, deterministic input-order results.")
+    Term.(
+      const serve_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ jobs
+      $ file $ repeat $ traces $ check)
+
+(* ------------------------------------------------------------------ *)
 (* nquery                                                               *)
 
 let nquery_run scale seed l threshold entities kws max_tuples =
@@ -568,6 +738,7 @@ let main_cmd =
       check_cmd;
       explain_cmd;
       profile_cmd;
+      serve_cmd;
       nquery_cmd;
       dump_cmd;
     ]

@@ -1,0 +1,152 @@
+(* The online serving tier: batch-evaluate topology queries concurrently
+   across OCaml 5 domains.
+
+   Each query keeps its single-coordinator evaluation (the paper's online
+   phase is inherently one plan per query); what parallelizes is the
+   *batch* — one pool task per query, one query per domain at a time.
+   Every domain works through a [handle]: the shared, read-only engine
+   (catalog, stores, topology registry, interner, data graph — all frozen
+   after the offline build) plus per-domain scratch state.  The scratch
+   state is what keeps concurrent queries honest:
+
+   - a fresh [Iterator.Counters] scope per query (Domain.DLS), so one
+     query's operator work never leaks into another's counts;
+   - a private [Trace.t] sink per query when tracing is requested;
+   - the optimizer memo and iterator state are already function-local.
+
+   Determinism contract: [run ~jobs:n] returns outcomes bit-identical to
+   [run ~jobs:1] (and to a plain sequential [Engine.run] loop), in input
+   order — queries only read the frozen stores, the pool merges results
+   by input index, and per-query scratch state is isolated.  A query that
+   raises yields [Error] in its own slot and leaves the rest of the batch
+   untouched. *)
+
+module Pool = Topo_util.Pool
+module Counters = Topo_sql.Iterator.Counters
+module Trace = Topo_obs.Trace
+
+type request = { method_ : Engine.method_; query : Query.t; scheme : Ranking.scheme; k : int }
+
+let request ?(scheme = Ranking.Freq) ?(k = 10) method_ query = { method_; query; scheme; k }
+
+type outcome = {
+  request : request;
+  result : (Engine.result, exn) Stdlib.result;
+  counters : Counters.snapshot;  (* this query's work, isolated *)
+  served_by : int;  (* id of the domain that evaluated the query *)
+  trace : Trace.t option;  (* private span tree, when requested *)
+}
+
+type stats = {
+  jobs : int;
+  queries : int;
+  errors : int;
+  elapsed_s : float;
+  throughput_qps : float;
+  domains_used : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain engine handles                                           *)
+
+type handle = {
+  h_engine : Engine.t;  (* shared read-only state *)
+  h_domain : int;
+  mutable h_served : int;  (* queries evaluated through this handle *)
+}
+
+(* One handle per (domain, engine): lazily created the first time a domain
+   picks up a query for a given engine, reused for the rest of the batch
+   (and across batches when the caller keeps a pool alive). *)
+let handle_slot : handle option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let handle_for engine =
+  match Domain.DLS.get handle_slot with
+  | Some h when h.h_engine == engine -> h
+  | Some _ | None ->
+      let h = { h_engine = engine; h_domain = (Domain.self () :> int); h_served = 0 } in
+      Domain.DLS.set handle_slot (Some h);
+      h
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let evaluate ~traces handle req =
+  handle.h_served <- handle.h_served + 1;
+  let trace = if traces then Some (Trace.create ()) else None in
+  let result, counters =
+    Counters.with_scope (fun () ->
+        try
+          Ok
+            (Engine.run handle.h_engine req.query ~method_:req.method_ ~scheme:req.scheme ~k:req.k
+               ?trace ())
+        with e -> Error e)
+  in
+  { request = req; result; counters; served_by = handle.h_domain; trace }
+
+let serve_on pool ~traces engine requests =
+  let input = Array.of_list requests in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Pool.parallel_map pool input ~f:(fun req -> evaluate ~traces (handle_for engine) req) in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let outcomes = Array.to_list outcomes in
+  let domains = List.sort_uniq compare (List.map (fun o -> o.served_by) outcomes) in
+  let errors = List.length (List.filter (fun o -> Result.is_error o.result) outcomes) in
+  let queries = List.length outcomes in
+  ( outcomes,
+    {
+      jobs = Pool.jobs pool;
+      queries;
+      errors;
+      elapsed_s;
+      throughput_qps = (if elapsed_s > 0.0 then float_of_int queries /. elapsed_s else 0.0);
+      domains_used = List.length domains;
+    } )
+
+let run ?pool ?jobs ?(traces = false) engine requests =
+  match pool with
+  | Some pool -> serve_on pool ~traces engine requests
+  | None ->
+      (* Never oversubscribe: domains beyond the hardware's recommended
+         count only add cross-domain GC synchronization on a serving
+         workload.  Results are jobs-invariant anyway; callers who really
+         want more domains than cores (stress tests) can pass [?pool]. *)
+      let jobs = Option.map (fun j -> max 1 (min j (Pool.default_jobs ()))) jobs in
+      Pool.with_pool ?jobs (fun pool -> serve_on pool ~traces engine requests)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism fingerprint                                             *)
+
+(* The full observable output of a batch as one string: per query, the
+   ranked (TID, score) list, the optimizer's strategy choice, the isolated
+   work counters, or the raised exception.  Wall-clock fields are
+   deliberately excluded.  [run ~jobs:n] must fingerprint identically for
+   every n. *)
+let fingerprint outcomes =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i o ->
+      Buffer.add_string buf
+        (Printf.sprintf "Q%d %s %s k=%d: " i
+           (Engine.method_name o.request.method_)
+           (Ranking.name o.request.scheme) o.request.k);
+      (match o.result with
+      | Ok r ->
+          List.iter
+            (fun (tid, score) ->
+              Buffer.add_string buf
+                (match score with
+                | Some s -> Printf.sprintf "%d=%.17g;" tid s
+                | None -> Printf.sprintf "%d;" tid))
+            r.Engine.ranked;
+          Buffer.add_string buf
+            (match r.Engine.strategy with
+            | Some Topo_sql.Optimizer.Regular -> " regular"
+            | Some Topo_sql.Optimizer.Early_termination -> " et"
+            | None -> "")
+      | Error e -> Buffer.add_string buf ("error " ^ Printexc.to_string e));
+      Buffer.add_string buf
+        (Printf.sprintf " [t=%d p=%d s=%d]\n" o.counters.Counters.tuples
+           o.counters.Counters.index_probes o.counters.Counters.rows_scanned))
+    outcomes;
+  Buffer.contents buf

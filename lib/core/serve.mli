@@ -1,0 +1,69 @@
+(** The online serving tier: evaluate a batch of topology queries
+    concurrently across OCaml 5 domains.
+
+    Each query keeps its single-coordinator evaluation; the {e batch} is
+    what parallelizes — one {!Topo_util.Pool} task per query, one query per
+    domain at a time.  Domains work through a per-domain {e engine handle}:
+    the shared read-only engine state (catalog, stores, topology registry,
+    interner, data graph — frozen after the offline build) plus per-domain
+    scratch: a fresh {!Topo_sql.Iterator.Counters} scope per query and a
+    private trace sink when tracing is requested.
+
+    Determinism contract: [run ~jobs:n] returns outcomes bit-identical to
+    [run ~jobs:1] — and to a sequential {!Engine.run} loop — in input
+    order.  A query that raises yields [Error] in its own slot; the rest
+    of the batch still completes. *)
+
+type request = {
+  method_ : Engine.method_;
+  query : Query.t;
+  scheme : Ranking.scheme;
+  k : int;
+}
+
+(** [request ?scheme ?k method_ query] with [scheme] defaulting to [Freq]
+    and [k] to 10. *)
+val request : ?scheme:Ranking.scheme -> ?k:int -> Engine.method_ -> Query.t -> request
+
+type outcome = {
+  request : request;
+  result : (Engine.result, exn) Stdlib.result;
+  counters : Topo_sql.Iterator.Counters.snapshot;
+      (** operator work performed by this query alone — concurrent queries
+          never contribute to each other's counts *)
+  served_by : int;  (** id of the domain that evaluated the query *)
+  trace : Topo_obs.Trace.t option;  (** the query's private span tree, when requested *)
+}
+
+type stats = {
+  jobs : int;  (** parallelism degree actually used *)
+  queries : int;
+  errors : int;  (** outcomes whose [result] is [Error] *)
+  elapsed_s : float;  (** wall time for the whole batch *)
+  throughput_qps : float;  (** [queries /. elapsed_s] *)
+  domains_used : int;  (** distinct domains that served at least one query *)
+}
+
+(** [run ?pool ?jobs ?traces engine requests] evaluates every request and
+    returns outcomes in input order plus batch statistics.  With [?pool]
+    the caller's pool is used (and kept alive — the long-running server
+    pattern); otherwise a fresh pool of [?jobs] domains is created for the
+    batch and shut down afterwards.  [?jobs] is capped at the machine's
+    recommended domain count — oversubscribing a serving workload only
+    adds cross-domain GC synchronization, and results are jobs-invariant
+    anyway; pass [?pool] to force a specific domain count.  [traces]
+    (default false) attaches a private {!Topo_obs.Trace.t} to each
+    query. *)
+val run :
+  ?pool:Topo_util.Pool.t ->
+  ?jobs:int ->
+  ?traces:bool ->
+  Engine.t ->
+  request list ->
+  outcome list * stats
+
+(** [fingerprint outcomes] renders the batch's full observable output —
+    ranked lists with scores, strategy choices, per-query counters,
+    exceptions — excluding wall-clock fields.  Bit-identical across jobs
+    values; the benchmark and CI gate compare these digests. *)
+val fingerprint : outcome list -> string

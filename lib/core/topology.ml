@@ -11,33 +11,51 @@ type t = {
   mutable decompositions : string list list;
 }
 
-type registry = { by_key : (string, t) Hashtbl.t; by_tid : t Topo_util.Dyn.t }
+type registry = {
+  by_key : (string, t) Hashtbl.t;
+  by_tid : t Topo_util.Dyn.t;
+  reg_lock : Mutex.t;
+      (* serializes registrations.  The offline build registers only on the
+         coordinator; online, the SQL method re-derives pair topologies and
+         re-registers them — in steady state every (shape, decomposition)
+         is already present, so the fast path below is a lock-free read,
+         and the lock only matters for the rare concurrent first-write. *)
+}
 
-let create_registry () = { by_key = Hashtbl.create 256; by_tid = Topo_util.Dyn.create () }
+let create_registry () =
+  { by_key = Hashtbl.create 256; by_tid = Topo_util.Dyn.create (); reg_lock = Mutex.create () }
 
 let register reg graph ~decomposition =
   let key = Canon.key graph in
   let decomposition = List.sort_uniq compare decomposition in
+  (* Double-checked: hit with a known decomposition -> no lock, no write. *)
   match Hashtbl.find_opt reg.by_key key with
-  | Some t ->
-      if not (List.mem decomposition t.decompositions) then
-        t.decompositions <- t.decompositions @ [ decomposition ];
-      t
-  | None ->
-      let t =
-        {
-          tid = Topo_util.Dyn.length reg.by_tid + 1;
-          key;
-          graph = Lgraph.copy graph;
-          n_nodes = Lgraph.node_count graph;
-          n_edges = Lgraph.edge_count graph;
-          decomposition;
-          decompositions = [ decomposition ];
-        }
-      in
-      Hashtbl.add reg.by_key key t;
-      Topo_util.Dyn.push reg.by_tid t;
-      t
+  | Some t when List.mem decomposition t.decompositions -> t
+  | Some _ | None ->
+      Mutex.lock reg.reg_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock reg.reg_lock)
+        (fun () ->
+          match Hashtbl.find_opt reg.by_key key with
+          | Some t ->
+              if not (List.mem decomposition t.decompositions) then
+                t.decompositions <- t.decompositions @ [ decomposition ];
+              t
+          | None ->
+              let t =
+                {
+                  tid = Topo_util.Dyn.length reg.by_tid + 1;
+                  key;
+                  graph = Lgraph.copy graph;
+                  n_nodes = Lgraph.node_count graph;
+                  n_edges = Lgraph.edge_count graph;
+                  decomposition;
+                  decompositions = [ decomposition ];
+                }
+              in
+              Hashtbl.add reg.by_key key t;
+              Topo_util.Dyn.push reg.by_tid t;
+              t)
 
 (* Merge a shard-local registry into [into]: every topology of [src] is
    re-registered in TID order with each of its decompositions in recorded

@@ -57,6 +57,14 @@ let duration_s span =
 
 let roots t = List.rev t.root_spans
 
+(* Traces are single-domain objects: the serving tier creates one trace
+   per in-flight query and only the domain evaluating that query writes
+   to it, so no synchronization is needed here.  [span_count] lets tests
+   assert that isolation (a query's trace holds exactly its own spans). *)
+let span_count t =
+  let rec count span = 1 + List.fold_left (fun acc s -> acc + count s) 0 span.subs in
+  List.fold_left (fun acc s -> acc + count s) 0 t.root_spans
+
 let children span = List.rev span.subs
 
 let tags span =

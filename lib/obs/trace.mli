@@ -41,6 +41,12 @@ val duration_s : span -> float
 (** [roots t] are the top-level spans in start order. *)
 val roots : t -> span list
 
+(** [span_count t] is the total number of spans (open or finished) in the
+    trace.  Traces are single-domain objects — the serving tier attaches a
+    private trace to each in-flight query — and this count lets tests
+    assert that per-query isolation. *)
+val span_count : t -> int
+
 (** [children span] in start order. *)
 val children : span -> span list
 

@@ -8,51 +8,81 @@ type t = {
 }
 
 module Counters = struct
-  (* Atomic so operators running on worker domains (e.g. a future parallel
-     online phase) never lose increments.  [reset]/[with_reset] are
-     coordinator-only: see below. *)
-  let tuples_c = Atomic.make 0
+  (* Counter cells are resolved through a domain-local scope: by default
+     every domain shares one global cell set (so counts survive concurrent
+     bumps from worker domains, as the offline build relies on), but a
+     domain can install a private cell set with [with_scope] — the serving
+     tier gives each in-flight query its own, so concurrent queries never
+     see each other's work.  Increments within a cell set are [Atomic]. *)
+  type cells = { tuples_c : int Atomic.t; probes_c : int Atomic.t; scanned_c : int Atomic.t }
 
-  let probes_c = Atomic.make 0
+  let make_cells () = { tuples_c = Atomic.make 0; probes_c = Atomic.make 0; scanned_c = Atomic.make 0 }
 
-  let scanned_c = Atomic.make 0
+  let global_cells = make_cells ()
+
+  let scope : cells Domain.DLS.key = Domain.DLS.new_key (fun () -> global_cells)
+
+  let cells () = Domain.DLS.get scope
 
   let reset () =
-    Atomic.set tuples_c 0;
-    Atomic.set probes_c 0;
-    Atomic.set scanned_c 0
+    let c = cells () in
+    Atomic.set c.tuples_c 0;
+    Atomic.set c.probes_c 0;
+    Atomic.set c.scanned_c 0
 
-  let tuples () = Atomic.get tuples_c
+  let tuples () = Atomic.get (cells ()).tuples_c
 
-  let index_probes () = Atomic.get probes_c
+  let index_probes () = Atomic.get (cells ()).probes_c
 
-  let rows_scanned () = Atomic.get scanned_c
+  let rows_scanned () = Atomic.get (cells ()).scanned_c
 
-  let add_tuples n = ignore (Atomic.fetch_and_add tuples_c n)
+  let add_tuples n = ignore (Atomic.fetch_and_add (cells ()).tuples_c n)
 
-  let add_probes n = ignore (Atomic.fetch_and_add probes_c n)
+  let add_probes n = ignore (Atomic.fetch_and_add (cells ()).probes_c n)
 
-  let add_scanned n = ignore (Atomic.fetch_and_add scanned_c n)
+  let add_scanned n = ignore (Atomic.fetch_and_add (cells ()).scanned_c n)
 
   type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
 
   let current () =
-    { tuples = Atomic.get tuples_c; index_probes = Atomic.get probes_c; rows_scanned = Atomic.get scanned_c }
+    let c = cells () in
+    {
+      tuples = Atomic.get c.tuples_c;
+      index_probes = Atomic.get c.probes_c;
+      rows_scanned = Atomic.get c.scanned_c;
+    }
 
-  (* Single-coordinator assumption: the save/zero/restore sequence is not
-     atomic, so exactly one domain may scope counters at a time — queries
-     are evaluated on the coordinator domain only.  Increments from other
-     domains are individually safe (Atomic) but land in whichever scope is
-     open.  Overlapping [with_reset] calls must nest, never interleave. *)
+  (* Isolated scope: install a fresh cell set on the current domain for the
+     duration of [f], returning [f]'s result and the work it performed.
+     Nothing leaks either way — the surrounding scope's counts are
+     untouched by [f]'s work, and [f] starts from zero.  The previous
+     scope is restored even when [f] raises, but the snapshot is only
+     produced on normal return. *)
+  let with_scope f =
+    let prev = Domain.DLS.get scope in
+    Domain.DLS.set scope (make_cells ());
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set scope prev)
+      (fun () ->
+        let result = f () in
+        (result, current ()))
+
+  (* Additive scope within the current domain's cell set: the save/zero/
+     restore sequence is not atomic across domains, so exactly one domain
+     may [with_reset] a given cell set at a time.  Under the default
+     shared scope that is the classic single-coordinator assumption;
+     increments from other domains sharing the cells land in whichever
+     scope is open.  Overlapping calls must nest, never interleave. *)
   let with_reset f =
+    let c = cells () in
     let saved = current () in
     reset ();
     let scoped = ref { tuples = 0; index_probes = 0; rows_scanned = 0 } in
     let restore () =
       let did = current () in
-      Atomic.set tuples_c (saved.tuples + did.tuples);
-      Atomic.set probes_c (saved.index_probes + did.index_probes);
-      Atomic.set scanned_c (saved.rows_scanned + did.rows_scanned);
+      Atomic.set c.tuples_c (saved.tuples + did.tuples);
+      Atomic.set c.probes_c (saved.index_probes + did.index_probes);
+      Atomic.set c.scanned_c (saved.rows_scanned + did.rows_scanned);
       scoped := did
     in
     let result = Fun.protect ~finally:restore f in

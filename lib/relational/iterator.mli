@@ -25,17 +25,28 @@ type t = {
   last_group : unit -> int;
 }
 
-(** Work counters, reset per query by the harness.  Increments are atomic,
-    so operators running on worker domains never lose counts.  Scoping
-    ([reset], [with_reset]) assumes a {e single coordinator}: exactly one
-    domain opens and closes counter scopes (queries are evaluated on the
-    coordinator domain only), and [with_reset] calls nest but must never
-    interleave across domains. *)
+(** Work counters, reset per query by the harness.  Counter cells resolve
+    through a {e domain-local scope}: every domain shares one global cell
+    set by default (increments are atomic, so operators running on worker
+    domains never lose counts), but a domain can install a private cell
+    set with [with_scope] — the serving tier gives each in-flight query
+    its own, isolating concurrent queries' counts from one another.
+    [reset]/[with_reset] act on the current domain's cell set and assume a
+    {e single scoper} per cell set: [with_reset] calls nest but must never
+    interleave across domains sharing cells. *)
 module Counters : sig
   val reset : unit -> unit
 
   (** A reading of all counters (each read individually atomic). *)
   type snapshot = { tuples : int; index_probes : int; rows_scanned : int }
+
+  (** [with_scope f] runs [f] against a {e fresh, private} cell set
+      installed on the calling domain, returning [f]'s result and the work
+      it performed.  Unlike {!with_reset}, nothing is added back to the
+      surrounding scope — the two are fully isolated, which is what the
+      concurrent serving tier needs for per-query counters.  The previous
+      scope is restored even when [f] raises. *)
+  val with_scope : (unit -> 'a) -> 'a * snapshot
 
   (** [with_reset f] runs [f] against zeroed counters and returns its result
       together with the work it performed.  The counts accumulated before

@@ -10,6 +10,11 @@ type t = {
   mutable indexed_upto : int;  (* row count when indexes were built *)
   mutable byte_size : int;
   mutable snapshot : Tuple.t array option;  (* cache for [rows], dropped on insert *)
+  cache_lock : Mutex.t;
+      (* serializes the lazy snapshot/index fills, which happen on read —
+         possibly from several serving domains at once.  Mutation proper
+         (insert/truncate) stays a coordinator-only affair: tables are
+         frozen while concurrent queries run. *)
 }
 
 let create ~name ~schema ?primary_key () =
@@ -31,6 +36,7 @@ let create ~name ~schema ?primary_key () =
     indexed_upto = 0;
     byte_size = 0;
     snapshot = None;
+    cache_lock = Mutex.create ();
   }
 
 let name t = t.name
@@ -59,13 +65,23 @@ let row_count t = Dyn.length t.rows
 
 let get t rowno = Dyn.get t.rows rowno
 
+(* Double-checked: the fast path is a single lock-free field read; a miss
+   takes the lock, re-checks, and fills — so two serving domains hitting a
+   cold cache build the snapshot once and both observe the same array. *)
 let rows t =
   match t.snapshot with
   | Some a -> a
   | None ->
-      let a = Dyn.to_array t.rows in
-      t.snapshot <- Some a;
-      a
+      Mutex.lock t.cache_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.cache_lock)
+        (fun () ->
+          match t.snapshot with
+          | Some a -> a
+          | None ->
+              let a = Dyn.to_array t.rows in
+              t.snapshot <- Some a;
+              a)
 
 let iter f t = Dyn.iteri f t.rows
 
@@ -80,21 +96,40 @@ let find_by_pk t key =
       | Some rowno -> Some (Dyn.get t.rows rowno)
       | None -> None)
 
-let ensure_index t ~kind ~cols =
-  if t.indexed_upto <> Dyn.length t.rows then begin
-    (* Rows were appended since the last index build: all cached indexes are
-       stale. *)
-    t.indexes <- [];
-    t.indexed_upto <- Dyn.length t.rows
-  end;
+let rec ensure_index t ~kind ~cols =
   let key = (kind, cols) in
-  match List.assoc_opt key t.indexes with
-  | Some idx -> idx
-  | None ->
-      let positions = Array.of_list (List.map (Schema.index_of t.schema) cols) in
-      let idx = Index.build ~kind ~cols:positions (rows t) in
-      t.indexes <- (key, idx) :: t.indexes;
-      idx
+  (* Double-checked: when the cache is warm and fresh this is two lock-free
+     reads (both fields are only written under [cache_lock] or by the
+     single-coordinator mutation phase).  A miss — or a stale cache after
+     appends — takes the lock, re-checks, and (re)builds once, so serving
+     domains probing the same cold index race nothing. *)
+  if t.indexed_upto = Dyn.length t.rows then
+    match List.assoc_opt key t.indexes with
+    | Some idx -> idx
+    | None -> ensure_index_slow t ~kind ~cols ~key
+  else ensure_index_slow t ~kind ~cols ~key
+
+and ensure_index_slow t ~kind ~cols ~key =
+  (* [rows t] takes [cache_lock] itself; fill the snapshot before locking
+     (the lock is not reentrant). *)
+  let data = rows t in
+  Mutex.lock t.cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cache_lock)
+    (fun () ->
+      if t.indexed_upto <> Dyn.length t.rows then begin
+        (* Rows were appended since the last index build: all cached indexes
+           are stale. *)
+        t.indexes <- [];
+        t.indexed_upto <- Dyn.length t.rows
+      end;
+      match List.assoc_opt key t.indexes with
+      | Some idx -> idx
+      | None ->
+          let positions = Array.of_list (List.map (Schema.index_of t.schema) cols) in
+          let idx = Index.build ~kind ~cols:positions data in
+          t.indexes <- (key, idx) :: t.indexes;
+          idx)
 
 let byte_size t = t.byte_size
 

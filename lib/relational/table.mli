@@ -51,7 +51,9 @@ val primary_key : t -> string option
 
 (** [ensure_index t ~kind ~cols] returns the index on the named columns,
     building (or rebuilding after inserts) as needed.  Indexes are cached
-    per (kind, column list). *)
+    per (kind, column list); cold-cache fills are serialized under the
+    table's cache lock, so concurrent readers (the serving tier) may call
+    this freely on a frozen table. *)
 val ensure_index : t -> kind:Index.kind -> cols:string list -> Index.t
 
 (** [byte_size t] is the estimated storage size: sum of row widths.  This is

@@ -1,12 +1,18 @@
-(* A dependency-free domain pool for the offline build.
+(* A dependency-free domain pool for the offline build and the online
+   serving tier.
 
    One batch runs at a time.  [parallel_map] installs the batch, wakes the
    workers, and the calling domain participates in draining it, so a pool
    with [jobs = n] keeps exactly [n] domains busy ([n - 1] spawned workers
-   plus the caller).  Tasks are claimed from a shared cursor under the pool
-   mutex in contiguous chunks; results land in a preallocated slot per
-   task, so the merged output is always in input order regardless of which
-   domain ran what — [jobs = n] output is identical to [jobs = 1].
+   plus the caller).  A submission arriving while another batch is in
+   flight (a second coordinator domain sharing the pool) waits on the
+   [idle] condition and installs its batch when the pool frees up —
+   batches queue instead of failing, so "a batch is already running" is
+   not an observable state.  Tasks are claimed from a shared cursor under
+   the pool mutex in contiguous chunks; results land in a preallocated
+   slot per task, so the merged output is always in input order regardless
+   of which domain ran what — [jobs = n] output is identical to
+   [jobs = 1].
 
    Exceptions raised by tasks are caught and recorded; after the batch
    drains, the failure with the smallest task index is re-raised with its
@@ -30,6 +36,7 @@ type t = {
   lock : Mutex.t;
   work : Condition.t;  (* a batch was installed, or shutdown was requested *)
   finished : Condition.t;  (* batch fully drained *)
+  idle : Condition.t;  (* the pool has no installed batch; submitters may proceed *)
   mutable batch : batch option;
   mutable stop : bool;
   mutable workers : unit Domain.t array;
@@ -95,6 +102,7 @@ let create ?jobs () =
       lock = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
+      idle = Condition.create ();
       batch = None;
       stop = false;
       workers = [||];
@@ -129,10 +137,14 @@ let parallel_map ?(chunk = 1) pool input ~f =
     let run i = results.(i) <- Some (f input.(i)) in
     let b = { total; chunk; run; next = 0; completed = 0; failure = None } in
     Mutex.lock pool.lock;
-    if pool.batch <> None then begin
-      Mutex.unlock pool.lock;
-      invalid_arg "Pool.parallel_map: a batch is already running"
-    end;
+    (* Another coordinator domain may have a batch in flight (e.g. two
+       serving tiers sharing one pool): queue behind it rather than fail.
+       Nested submissions never reach this point — the [in_task] check
+       above routes them to the inline sequential path — so waiting here
+       cannot deadlock on ourselves. *)
+    while pool.batch <> None do
+      Condition.wait pool.idle pool.lock
+    done;
     pool.batch <- Some b;
     Condition.broadcast pool.work;
     Domain.DLS.set in_task true;
@@ -142,6 +154,7 @@ let parallel_map ?(chunk = 1) pool input ~f =
       Condition.wait pool.finished pool.lock
     done;
     pool.batch <- None;
+    Condition.broadcast pool.idle;
     Mutex.unlock pool.lock;
     (match b.failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt

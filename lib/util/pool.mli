@@ -1,17 +1,19 @@
 (** A dependency-free domain pool (stdlib [Domain] + [Mutex]/[Condition])
-    for the parallel offline build.
+    for the parallel offline build and the online serving tier.
 
     The pool owns [jobs - 1] spawned worker domains; the calling domain
     participates in every batch, so [jobs] domains compute in total and a
     [jobs = 1] pool spawns nothing and runs inline.  Results merge in input
     order, making [jobs = n] output identical to [jobs = 1] output.
 
-    Concurrency contract: one batch at a time per pool, submitted from one
-    coordinator domain.  Submitting from inside a task (nesting) runs the
-    nested batch inline and sequentially — never a deadlock.  Tasks must
-    not write shared mutable state unless it is [Atomic] or locked; the
-    intended pattern is tasks that return private results merged by the
-    coordinator. *)
+    Concurrency contract: one batch runs at a time per pool, but
+    submissions may come from any number of coordinator domains — a
+    submission that finds a batch in flight blocks until the pool is idle
+    and then runs, so batches queue rather than fail.  Submitting from
+    inside a task (nesting) runs the nested batch inline and sequentially
+    — never a deadlock.  Tasks must not write shared mutable state unless
+    it is [Atomic] or locked; the intended pattern is tasks that return
+    private results merged by the coordinator. *)
 
 type t
 
@@ -38,7 +40,9 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
     If any task raises, the whole batch still drains and the exception of
     the {e smallest} failing index is re-raised (deterministic).  On a
     1-job pool, from inside another task, or on inputs of length <= 1 it
-    degrades to a plain sequential [Array.map]. *)
+    degrades to a plain sequential [Array.map].  When another domain's
+    batch is in flight, the call blocks until that batch drains, then
+    runs. *)
 val parallel_map : ?chunk:int -> t -> 'a array -> f:('a -> 'b) -> 'b array
 
 (** [parallel_fold ?chunk pool input ~f ~init ~merge] maps in parallel and

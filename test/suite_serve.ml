@@ -1,0 +1,246 @@
+(* The online serving tier: sequential-vs-concurrent result equality on
+   the paper database and on a generated instance (all nine methods),
+   per-query counter isolation, error containment — one poisoned query
+   must not take down the rest of the batch — and the pool's queueing of
+   concurrent batch submitters.
+
+   Concurrency-sensitive tests pass an explicit pool so they exercise
+   real multi-domain serving even on single-core machines (Serve.run's
+   [?jobs] is capped at the core count; [?pool] is not). *)
+
+open Topo_core
+module Pool = Topo_util.Pool
+module Counters = Topo_sql.Iterator.Counters
+module Trace = Topo_obs.Trace
+
+let paper_engine =
+  lazy
+    (Engine.build
+       (Biozon.Paper_db.catalog ())
+       ~pairs:[ ("Protein", "DNA") ]
+       ~pruning_threshold:50 ())
+
+(* All nine methods over three queries with rotating ranking schemes: the
+   small serving analogue of the bench's mixed workload. *)
+let paper_workload (engine : Engine.t) =
+  let catalog = engine.Engine.ctx.Context.catalog in
+  let queries =
+    [
+      Query.q1 catalog;
+      Query.make
+        (Query.keyword catalog "Protein" ~col:"desc" ~kw:"enzyme")
+        (Query.endpoint catalog "DNA");
+      Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog "DNA");
+    ]
+  in
+  let schemes = [ Ranking.Freq; Ranking.Rare; Ranking.Domain ] in
+  List.concat_map
+    (fun method_ ->
+      List.mapi
+        (fun i q -> Serve.request ~scheme:(List.nth schemes (i mod 3)) ~k:10 method_ q)
+        queries)
+    Engine.all_methods
+
+let serve_forced ~jobs ?(traces = false) engine requests =
+  Pool.with_pool ~jobs (fun pool -> Serve.run ~pool ~traces engine requests)
+
+let ranked = Alcotest.(list (pair int (option (float 1e-9))))
+
+(* --- sequential vs concurrent ------------------------------------------- *)
+
+let test_paper_serve_matches_sequential () =
+  let engine = Lazy.force paper_engine in
+  let requests = paper_workload engine in
+  (* ground truth: a plain sequential Engine.run loop, no serving tier *)
+  let expected =
+    List.map
+      (fun (r : Serve.request) ->
+        (Engine.run engine r.Serve.query ~method_:r.Serve.method_ ~scheme:r.Serve.scheme
+           ~k:r.Serve.k ())
+          .Engine.ranked)
+      requests
+  in
+  let outcomes, stats = serve_forced ~jobs:4 engine requests in
+  Alcotest.(check int) "all queries served" (List.length requests) stats.Serve.queries;
+  Alcotest.(check int) "no errors" 0 stats.Serve.errors;
+  List.iteri
+    (fun i (o : Serve.outcome) ->
+      match o.Serve.result with
+      | Ok r ->
+          Alcotest.check ranked
+            (Printf.sprintf "query %d (%s) ranked list" i
+               (Engine.method_name o.Serve.request.Serve.method_))
+            (List.nth expected i) r.Engine.ranked
+      | Error e -> Alcotest.failf "query %d raised %s" i (Printexc.to_string e))
+    outcomes;
+  (* and the full fingerprint — scores, strategies, counters — matches a
+     one-domain serve of the same batch *)
+  let seq_outcomes, _ = serve_forced ~jobs:1 engine requests in
+  Alcotest.(check string) "jobs=4 fingerprint = jobs=1"
+    (Serve.fingerprint seq_outcomes) (Serve.fingerprint outcomes)
+
+let prop_generated_serve_jobs_identical =
+  QCheck.Test.make ~name:"generated instance: serve fingerprint invariant across jobs" ~count:3
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let params =
+        Biozon.Generator.scale 0.08 { Biozon.Generator.default with Biozon.Generator.seed = seed }
+      in
+      let engine =
+        Engine.build
+          (Biozon.Generator.generate params)
+          ~pairs:[ ("Protein", "DNA"); ("Protein", "Interaction") ]
+          ~pruning_threshold:10 ()
+      in
+      let catalog = engine.Engine.ctx.Context.catalog in
+      let requests =
+        List.map
+          (fun method_ ->
+            Serve.request ~k:10 method_
+              (Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog "DNA")))
+          Engine.all_methods
+      in
+      let fp jobs = Serve.fingerprint (fst (serve_forced ~jobs engine requests)) in
+      fp 1 = fp 4)
+
+(* --- per-query counter isolation ----------------------------------------- *)
+
+let test_counter_isolation () =
+  let engine = Lazy.force paper_engine in
+  let requests = paper_workload engine in
+  Counters.reset ();
+  Counters.add_tuples 7 (* sentinel: serving must not disturb the ambient scope *);
+  let outcomes, _ = serve_forced ~jobs:4 engine requests in
+  Alcotest.(check int) "ambient counters untouched by the batch" 7 (Counters.tuples ());
+  Counters.reset ();
+  (* each outcome's counters equal the query's solo cost — nothing leaked
+     in from neighbours that ran concurrently on other domains *)
+  List.iteri
+    (fun i (o : Serve.outcome) ->
+      let r = o.Serve.request in
+      let (_ : Engine.result), solo =
+        Counters.with_scope (fun () ->
+            Engine.run engine r.Serve.query ~method_:r.Serve.method_ ~scheme:r.Serve.scheme
+              ~k:r.Serve.k ())
+      in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "query %d counters = solo run" i)
+        (solo.Counters.tuples, solo.Counters.index_probes, solo.Counters.rows_scanned)
+        ( o.Serve.counters.Counters.tuples,
+          o.Serve.counters.Counters.index_probes,
+          o.Serve.counters.Counters.rows_scanned ))
+    outcomes
+
+let test_with_scope_isolation () =
+  Counters.reset ();
+  Counters.add_tuples 5;
+  let result, inner =
+    Counters.with_scope (fun () ->
+        Alcotest.(check int) "fresh scope starts at zero" 0 (Counters.tuples ());
+        Counters.add_tuples 3;
+        "done")
+  in
+  Alcotest.(check string) "result threaded through" "done" result;
+  Alcotest.(check int) "inner snapshot sees only inner work" 3 inner.Counters.tuples;
+  Alcotest.(check int) "outer scope never saw inner work" 5 (Counters.tuples ());
+  Counters.reset ()
+
+(* --- error containment ---------------------------------------------------- *)
+
+let test_error_isolated () =
+  let engine = Lazy.force paper_engine in
+  let catalog = engine.Engine.ctx.Context.catalog in
+  (* Protein-Protein was never built: Context.store_for raises Not_found *)
+  let poison =
+    Serve.request Engine.Full_top
+      (Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog "Protein"))
+  in
+  let good = paper_workload engine in
+  let requests = List.concat [ [ List.hd good ]; [ poison ]; List.tl good ] in
+  let outcomes, stats = serve_forced ~jobs:4 engine requests in
+  Alcotest.(check int) "exactly one error" 1 stats.Serve.errors;
+  Alcotest.(check int) "whole batch completed" (List.length requests) stats.Serve.queries;
+  (match (List.nth outcomes 1).Serve.result with
+  | Error Not_found -> ()
+  | Error e -> Alcotest.failf "poison query raised %s, expected Not_found" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "poison query unexpectedly succeeded");
+  (* the survivors answer exactly as they would without the poison query *)
+  let clean, _ = serve_forced ~jobs:1 engine good in
+  let survivors = List.filteri (fun i _ -> i <> 1) outcomes in
+  Alcotest.(check string) "rest of the batch unaffected" (Serve.fingerprint clean)
+    (Serve.fingerprint survivors)
+
+(* --- traces ---------------------------------------------------------------- *)
+
+let test_traces_attached () =
+  let engine = Lazy.force paper_engine in
+  let requests = [ Serve.request Engine.Fast_top (Query.q1 engine.Engine.ctx.Context.catalog) ] in
+  let with_traces, _ = serve_forced ~jobs:2 ~traces:true engine requests in
+  (match (List.hd with_traces).Serve.trace with
+  | Some tr -> Alcotest.(check bool) "trace has spans" true (Trace.span_count tr > 0)
+  | None -> Alcotest.fail "traces requested but absent");
+  let without, _ = serve_forced ~jobs:2 engine requests in
+  Alcotest.(check bool) "no trace unless requested" true ((List.hd without).Serve.trace = None)
+
+(* --- pool: concurrent batch submitters ------------------------------------ *)
+
+let test_pool_queues_second_batch () =
+  (* Two coordinator domains race parallel_map on one shared pool.  Before
+     the serve tier this was an invalid_arg; now the second submitter
+     waits for the pool to go idle and both batches complete. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let submit label =
+        Domain.spawn (fun () ->
+            List.init 5 (fun round ->
+                Pool.parallel_map pool (Array.init 40 Fun.id) ~f:(fun i ->
+                    Sys.opaque_identity (ignore (Array.init (i mod 13 * 50) Fun.id));
+                    (label * 1000) + (round * 100) + i)))
+      in
+      let a = submit 1 and b = submit 2 in
+      let check label rounds =
+        List.iteri
+          (fun round out ->
+            Alcotest.(check (array int))
+              (Printf.sprintf "submitter %d round %d" label round)
+              (Array.init 40 (fun i -> (label * 1000) + (round * 100) + i))
+              out)
+          rounds
+      in
+      check 1 (Domain.join a);
+      check 2 (Domain.join b))
+
+let test_serve_batches_queue_on_shared_pool () =
+  let engine = Lazy.force paper_engine in
+  let requests = paper_workload engine in
+  let expected = Serve.fingerprint (fst (serve_forced ~jobs:1 engine requests)) in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let serve () = Domain.spawn (fun () -> fst (Serve.run ~pool engine requests)) in
+      let a = serve () and b = serve () in
+      Alcotest.(check string) "first concurrent serve deterministic" expected
+        (Serve.fingerprint (Domain.join a));
+      Alcotest.(check string) "second concurrent serve deterministic" expected
+        (Serve.fingerprint (Domain.join b)))
+
+let suites =
+  [
+    ( "serve.equality",
+      [
+        Alcotest.test_case "paper db: concurrent = sequential" `Quick
+          test_paper_serve_matches_sequential;
+        QCheck_alcotest.to_alcotest prop_generated_serve_jobs_identical;
+      ] );
+    ( "serve.isolation",
+      [
+        Alcotest.test_case "per-query counter isolation" `Quick test_counter_isolation;
+        Alcotest.test_case "with_scope isolates and restores" `Quick test_with_scope_isolation;
+        Alcotest.test_case "one failing query spares the batch" `Quick test_error_isolated;
+        Alcotest.test_case "traces attach per query on demand" `Quick test_traces_attached;
+      ] );
+    ( "serve.pool",
+      [
+        Alcotest.test_case "second batch queues, not invalid_arg" `Quick
+          test_pool_queues_second_batch;
+        Alcotest.test_case "concurrent serve batches on one pool" `Quick
+          test_serve_batches_queue_on_shared_pool;
+      ] );
+  ]
