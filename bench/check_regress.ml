@@ -8,10 +8,12 @@
    - the serve tier reported zero per-query errors;
    - serve throughput at jobs = 4 is at least MIN_RATIO x the jobs = 1
      throughput (sanity floor, not a strict perf SLA: it demands that
-     adding domains does not make serving slower, with a 5% allowance
-     for timer noise — the serve tier caps jobs at the core count, so on
-     a single-core runner both cells measure the same configuration and
-     only noise separates them.  Override with SERVE_MIN_SPEEDUP).
+     adding domains does not make serving much slower.  The floor is a
+     loose 0.80 because hosted CI runners share cores with noisy
+     neighbors and smoke-scale runs routinely jitter by more than 5% —
+     fingerprint identity and zero errors are the hard correctness
+     gates; the throughput check only catches gross regressions.
+     Override with SERVE_MIN_SPEEDUP).
 
    Usage: dune exec bench/check_regress.exe [PARALLEL.json SERVE.json] *)
 
@@ -72,7 +74,7 @@ let () =
   let min_ratio =
     match Sys.getenv_opt "SERVE_MIN_SPEEDUP" with
     | Some s -> (match float_of_string_opt s with Some f -> f | None -> fail "bad SERVE_MIN_SPEEDUP %S" s)
-    | None -> 0.95
+    | None -> 0.80
   in
   Printf.printf "serve throughput: jobs=1 %.1f qps, jobs=4 %.1f qps (ratio %.2f, floor %.2f)\n" qps1
     qps4 (qps4 /. qps1) min_ratio;

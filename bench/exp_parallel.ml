@@ -36,7 +36,7 @@ let fingerprint (engine : Engine.t) =
       Buffer.add_string buf (Printf.sprintf "T%d %s" t.Topo_core.Topology.tid t.Topo_core.Topology.key);
       List.iter
         (fun d -> Buffer.add_string buf ("|" ^ String.concat "," d))
-        t.Topo_core.Topology.decompositions;
+        (Atomic.get t.Topo_core.Topology.decompositions);
       Buffer.add_char buf '\n')
     (Topo_core.Topology.all engine.Engine.ctx.Topo_core.Context.registry);
   let tables =

@@ -77,7 +77,9 @@ let witness_combo_for (ctx : Context.t) (target : Topology.t) decomposition ~a ~
 
 let witness_combo (ctx : Context.t) ~tid ~a ~b =
   let target = Topology.find ctx.Context.registry tid in
-  List.find_map (fun d -> witness_combo_for ctx target d ~a ~b) target.Topology.decompositions
+  List.find_map
+    (fun d -> witness_combo_for ctx target d ~a ~b)
+    (Atomic.get target.Topology.decompositions)
 
 let witness_paths ctx ~tid ~a ~b =
   Option.map (List.map (fun (key, (_, ids)) -> (key, ids))) (witness_combo ctx ~tid ~a ~b)

@@ -100,7 +100,7 @@ let pruned_find_one (ctx : Context.t) aligned (p : Topology.t) decomposition =
       with Found_pair (a, b) -> Some (a, b))
 
 let pruned_find ctx aligned (p : Topology.t) =
-  List.find_map (fun d -> pruned_find_one ctx aligned p d) p.Topology.decompositions
+  List.find_map (fun d -> pruned_find_one ctx aligned p d) (Atomic.get p.Topology.decompositions)
 
 let pruned_check ctx aligned p = Option.is_some (pruned_find ctx aligned p)
 
@@ -144,7 +144,10 @@ let sql_method ?trace (ctx : Context.t) aligned =
   let check tid =
     let p = Topology.find ctx.Context.registry tid in
     let first_classes =
-      List.sort_uniq compare (List.filter_map (function c :: _ -> Some c | [] -> None) p.Topology.decompositions)
+      List.sort_uniq compare
+        (List.filter_map
+           (function c :: _ -> Some c | [] -> None)
+           (Atomic.get p.Topology.decompositions))
     in
     let checked = Hashtbl.create 64 in
     try

@@ -110,8 +110,10 @@ let run ?pool ?jobs ?(traces = false) engine requests =
       (* Never oversubscribe: domains beyond the hardware's recommended
          count only add cross-domain GC synchronization on a serving
          workload.  Results are jobs-invariant anyway; callers who really
-         want more domains than cores (stress tests) can pass [?pool]. *)
-      let jobs = Option.map (fun j -> max 1 (min j (Pool.default_jobs ()))) jobs in
+         want more domains than cores (stress tests) can pass [?pool].
+         This is the only cap — [Pool.default_jobs]'s additional clamp to 8
+         applies just when [?jobs] is omitted entirely. *)
+      let jobs = Option.map (fun j -> max 1 (min j (Domain.recommended_domain_count ()))) jobs in
       Pool.with_pool ?jobs (fun pool -> serve_on pool ~traces engine requests)
 
 (* ------------------------------------------------------------------ *)

@@ -95,7 +95,7 @@ let build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold =
             List.exists
               (fun decomposition ->
                 List.for_all (fun key -> List.mem key r.Compute.class_keys) decomposition)
-              p.Topology.decompositions
+              (Atomic.get p.Topology.decompositions)
           in
           if satisfies_condition && not (List.mem p.Topology.tid r.Compute.tids) then
             Table.insert_values excptops

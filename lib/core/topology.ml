@@ -1,5 +1,6 @@
 module Lgraph = Topo_graph.Lgraph
 module Canon = Topo_graph.Canon
+module Smap = Map.Make (String)
 
 type t = {
   tid : int;
@@ -8,53 +9,62 @@ type t = {
   n_nodes : int;
   n_edges : int;
   decomposition : string list;
-  mutable decompositions : string list list;
+  decompositions : string list list Atomic.t;
 }
 
-type registry = {
-  by_key : (string, t) Hashtbl.t;
-  by_tid : t Topo_util.Dyn.t;
-  reg_lock : Mutex.t;
-      (* serializes registrations.  The offline build registers only on the
-         coordinator; online, the SQL method re-derives pair topologies and
-         re-registers them — in steady state every (shape, decomposition)
-         is already present, so the fast path below is a lock-free read,
-         and the lock only matters for the rare concurrent first-write. *)
+(* The whole registry state lives in ONE immutable snapshot behind an
+   [Atomic.t].  Readers — [find]/[find_by_key]/[count]/[all] and the
+   lock-free fast path of [register] — do a single [Atomic.get] and then
+   touch only immutable data, so they are safe against concurrent
+   registration from serving domains (online, the SQL method re-derives
+   pair topologies and re-registers them).  Writers serialize on
+   [reg_lock], build a new snapshot, and publish it with [Atomic.set];
+   the release/acquire pair means no reader can see a TID without its
+   fully-initialized topology, or a map/array mid-rehash. *)
+type snapshot = {
+  by_key : t Smap.t;
+  by_tid : t array;  (* index = tid - 1; never mutated once published *)
 }
+
+type registry = { state : snapshot Atomic.t; reg_lock : Mutex.t }
 
 let create_registry () =
-  { by_key = Hashtbl.create 256; by_tid = Topo_util.Dyn.create (); reg_lock = Mutex.create () }
+  { state = Atomic.make { by_key = Smap.empty; by_tid = [||] }; reg_lock = Mutex.create () }
 
 let register reg graph ~decomposition =
   let key = Canon.key graph in
   let decomposition = List.sort_uniq compare decomposition in
-  (* Double-checked: hit with a known decomposition -> no lock, no write. *)
-  match Hashtbl.find_opt reg.by_key key with
-  | Some t when List.mem decomposition t.decompositions -> t
+  (* Double-checked: hit with a known decomposition -> no lock, no write.
+     In steady state every (shape, decomposition) is already present, so
+     this path is the common one online. *)
+  match Smap.find_opt key (Atomic.get reg.state).by_key with
+  | Some t when List.mem decomposition (Atomic.get t.decompositions) -> t
   | Some _ | None ->
       Mutex.lock reg.reg_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock reg.reg_lock)
         (fun () ->
-          match Hashtbl.find_opt reg.by_key key with
+          let snap = Atomic.get reg.state in
+          match Smap.find_opt key snap.by_key with
           | Some t ->
-              if not (List.mem decomposition t.decompositions) then
-                t.decompositions <- t.decompositions @ [ decomposition ];
+              let ds = Atomic.get t.decompositions in
+              if not (List.mem decomposition ds) then
+                Atomic.set t.decompositions (ds @ [ decomposition ]);
               t
           | None ->
               let t =
                 {
-                  tid = Topo_util.Dyn.length reg.by_tid + 1;
+                  tid = Array.length snap.by_tid + 1;
                   key;
                   graph = Lgraph.copy graph;
                   n_nodes = Lgraph.node_count graph;
                   n_edges = Lgraph.edge_count graph;
                   decomposition;
-                  decompositions = [ decomposition ];
+                  decompositions = Atomic.make [ decomposition ];
                 }
               in
-              Hashtbl.add reg.by_key key t;
-              Topo_util.Dyn.push reg.by_tid t;
+              Atomic.set reg.state
+                { by_key = Smap.add key t snap.by_key; by_tid = Array.append snap.by_tid [| t |] };
               t)
 
 (* Merge a shard-local registry into [into]: every topology of [src] is
@@ -63,30 +73,31 @@ let register reg graph ~decomposition =
    src-TID -> dst-TID remap. *)
 let absorb ~into src =
   let remap = Hashtbl.create 64 in
-  Topo_util.Dyn.iter
+  Array.iter
     (fun (t : t) ->
       let merged =
         List.fold_left
           (fun _ decomposition -> register into t.graph ~decomposition)
           (register into t.graph ~decomposition:t.decomposition)
-          t.decompositions
+          (Atomic.get t.decompositions)
       in
       Hashtbl.replace remap t.tid merged.tid)
-    src.by_tid;
+    (Atomic.get src.state).by_tid;
   fun tid ->
     match Hashtbl.find_opt remap tid with
     | Some tid' -> tid'
     | None -> raise Not_found
 
 let find reg tid =
-  if tid < 1 || tid > Topo_util.Dyn.length reg.by_tid then raise Not_found;
-  Topo_util.Dyn.get reg.by_tid (tid - 1)
+  let { by_tid; _ } = Atomic.get reg.state in
+  if tid < 1 || tid > Array.length by_tid then raise Not_found;
+  by_tid.(tid - 1)
 
-let find_by_key reg key = Hashtbl.find_opt reg.by_key key
+let find_by_key reg key = Smap.find_opt key (Atomic.get reg.state).by_key
 
-let count reg = Topo_util.Dyn.length reg.by_tid
+let count reg = Array.length (Atomic.get reg.state).by_tid
 
-let all reg = Topo_util.Dyn.to_list reg.by_tid
+let all reg = Array.to_list (Atomic.get reg.state).by_tid
 
 let is_single_path t =
   let g = t.graph in

@@ -15,14 +15,21 @@ type t = {
   n_nodes : int;
   n_edges : int;
   decomposition : string list;  (** sorted path-class keys of the first derivation *)
-  mutable decompositions : string list list;
+  decompositions : string list list Atomic.t;
       (** every distinct derivation observed (first one included): the same
           canonical graph can arise from pairs whose path-class sets differ
           (symmetric shapes place the query endpoints differently), and the
-          pruned-topology condition must accept any of them *)
+          pruned-topology condition must accept any of them.  Atomic because
+          online re-registration (the SQL method) may extend the list while
+          serving domains read it; [Atomic.get] always yields a
+          fully-published list *)
 }
 
 type registry
+(** Safe for concurrent readers: the state is an immutable snapshot behind
+    an [Atomic.t], swapped under the registration lock — [find], [count],
+    [all], [find_by_key] and the lock-free fast path of [register] never
+    observe partially-built entries. *)
 
 (** [create_registry ()] is empty; TIDs are assigned densely from 1. *)
 val create_registry : unit -> registry

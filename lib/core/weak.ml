@@ -103,6 +103,7 @@ let topology_reliability (t : Topology.t) =
         List.fold_left (fun acc key -> Float.min acc (class_key_reliability key)) 1.0 decomposition
       in
       Float.max best weakest)
-    0.0 t.Topology.decompositions
+    0.0
+    (Atomic.get t.Topology.decompositions)
 
 let reliability_filter ~threshold p = path_reliability p >= threshold

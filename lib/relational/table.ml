@@ -1,18 +1,28 @@
 module Dyn = Topo_util.Dyn
 
+(* Freshness and entries travel together in one immutable record behind an
+   [Atomic.t], so a reader can never pair a new row count with a stale
+   entry list (or vice versa) the way two separate fields would allow. *)
+type index_cache = {
+  upto : int;  (* row count when [entries] were built *)
+  entries : ((Index.kind * string list) * Index.t) list;
+}
+
 type t = {
   name : string;
   schema : Schema.t;
   pk_col : int option;
   rows : Tuple.t Dyn.t;
   pk_index : (Value.t, int) Hashtbl.t;
-  mutable indexes : ((Index.kind * string list) * Index.t) list;
-  mutable indexed_upto : int;  (* row count when indexes were built *)
+  index_cache : index_cache Atomic.t;
   mutable byte_size : int;
-  mutable snapshot : Tuple.t array option;  (* cache for [rows], dropped on insert *)
+  snapshot : Tuple.t array option Atomic.t;  (* cache for [rows], dropped on insert *)
   cache_lock : Mutex.t;
       (* serializes the lazy snapshot/index fills, which happen on read —
-         possibly from several serving domains at once.  Mutation proper
+         possibly from several serving domains at once.  The cached state
+         itself is published through [Atomic.set] so the unlocked fast
+         paths get release/acquire ordering: a domain that sees the new
+         value sees everything built before it.  Mutation proper
          (insert/truncate) stays a coordinator-only affair: tables are
          frozen while concurrent queries run. *)
 }
@@ -32,10 +42,9 @@ let create ~name ~schema ?primary_key () =
     pk_col;
     rows = Dyn.create ();
     pk_index = Hashtbl.create 1024;
-    indexes = [];
-    indexed_upto = 0;
+    index_cache = Atomic.make { upto = 0; entries = [] };
     byte_size = 0;
-    snapshot = None;
+    snapshot = Atomic.make None;
     cache_lock = Mutex.create ();
   }
 
@@ -56,7 +65,7 @@ let insert t tuple =
         invalid_arg (Printf.sprintf "Table.insert(%s): duplicate primary key %s" t.name (Value.to_string key));
       Hashtbl.add t.pk_index key (Dyn.length t.rows));
   Dyn.push t.rows tuple;
-  t.snapshot <- None;
+  Atomic.set t.snapshot None;
   t.byte_size <- t.byte_size + Tuple.width tuple
 
 let insert_values t values = insert t (Array.of_list values)
@@ -69,18 +78,18 @@ let get t rowno = Dyn.get t.rows rowno
    takes the lock, re-checks, and fills — so two serving domains hitting a
    cold cache build the snapshot once and both observe the same array. *)
 let rows t =
-  match t.snapshot with
+  match Atomic.get t.snapshot with
   | Some a -> a
   | None ->
       Mutex.lock t.cache_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.cache_lock)
         (fun () ->
-          match t.snapshot with
+          match Atomic.get t.snapshot with
           | Some a -> a
           | None ->
               let a = Dyn.to_array t.rows in
-              t.snapshot <- Some a;
+              Atomic.set t.snapshot (Some a);
               a)
 
 let iter f t = Dyn.iteri f t.rows
@@ -98,13 +107,13 @@ let find_by_pk t key =
 
 let rec ensure_index t ~kind ~cols =
   let key = (kind, cols) in
-  (* Double-checked: when the cache is warm and fresh this is two lock-free
-     reads (both fields are only written under [cache_lock] or by the
-     single-coordinator mutation phase).  A miss — or a stale cache after
+  (* Double-checked: when the cache is warm and fresh this is one lock-free
+     [Atomic.get] of an immutable record.  A miss — or a stale cache after
      appends — takes the lock, re-checks, and (re)builds once, so serving
      domains probing the same cold index race nothing. *)
-  if t.indexed_upto = Dyn.length t.rows then
-    match List.assoc_opt key t.indexes with
+  let cache = Atomic.get t.index_cache in
+  if cache.upto = Dyn.length t.rows then
+    match List.assoc_opt key cache.entries with
     | Some idx -> idx
     | None -> ensure_index_slow t ~kind ~cols ~key
   else ensure_index_slow t ~kind ~cols ~key
@@ -117,18 +126,17 @@ and ensure_index_slow t ~kind ~cols ~key =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.cache_lock)
     (fun () ->
-      if t.indexed_upto <> Dyn.length t.rows then begin
-        (* Rows were appended since the last index build: all cached indexes
-           are stale. *)
-        t.indexes <- [];
-        t.indexed_upto <- Dyn.length t.rows
-      end;
-      match List.assoc_opt key t.indexes with
+      let len = Dyn.length t.rows in
+      let cache = Atomic.get t.index_cache in
+      (* Rows appended since the last build make every cached index stale:
+         restart from an empty entry list rather than mixing generations. *)
+      let cache = if cache.upto = len then cache else { upto = len; entries = [] } in
+      match List.assoc_opt key cache.entries with
       | Some idx -> idx
       | None ->
           let positions = Array.of_list (List.map (Schema.index_of t.schema) cols) in
           let idx = Index.build ~kind ~cols:positions data in
-          t.indexes <- (key, idx) :: t.indexes;
+          Atomic.set t.index_cache { upto = len; entries = (key, idx) :: cache.entries };
           idx)
 
 let byte_size t = t.byte_size
@@ -136,7 +144,6 @@ let byte_size t = t.byte_size
 let truncate t =
   Dyn.clear t.rows;
   Hashtbl.reset t.pk_index;
-  t.indexes <- [];
-  t.indexed_upto <- 0;
+  Atomic.set t.index_cache { upto = 0; entries = [] };
   t.byte_size <- 0;
-  t.snapshot <- None
+  Atomic.set t.snapshot None

@@ -143,10 +143,11 @@ let test_absorb_remap () =
     (remap t2.Topology.tid);
   let m1 = Topology.find dst (remap t1.Topology.tid) in
   Alcotest.(check (list (list string))) "all decompositions carried over"
-    [ [ "p1" ]; [ "p2" ] ] m1.Topology.decompositions;
+    [ [ "p1" ]; [ "p2" ] ] (Atomic.get m1.Topology.decompositions);
   let m2 = Topology.find dst (remap t2.Topology.tid) in
   Alcotest.(check bool) "merged decompositions extend the target" true
-    (List.mem [ "q" ] m2.Topology.decompositions && List.mem [ "r" ] m2.Topology.decompositions);
+    (List.mem [ "q" ] (Atomic.get m2.Topology.decompositions)
+    && List.mem [ "r" ] (Atomic.get m2.Topology.decompositions));
   Alcotest.(check int) "no duplicate topologies" 2 (Topology.count dst);
   Alcotest.check_raises "unknown src TID" Not_found (fun () -> ignore (remap 99))
 
@@ -159,7 +160,7 @@ let test_absorb_idempotent () =
   Alcotest.(check int) "second absorb maps identically" (r1 1) (r2 1);
   Alcotest.(check int) "no growth" 1 (Topology.count dst);
   Alcotest.(check (list (list string))) "no duplicate decompositions" [ [ "p" ] ]
-    (Topology.find dst (r2 1)).Topology.decompositions
+    (Atomic.get (Topology.find dst (r2 1)).Topology.decompositions)
 
 (* --- Engine.build determinism across jobs -------------------------------- *)
 
@@ -171,7 +172,9 @@ let fingerprint (engine : Engine.t) =
   List.iter
     (fun (t : Topology.t) ->
       Buffer.add_string buf (Printf.sprintf "T%d %s" t.Topology.tid t.Topology.key);
-      List.iter (fun d -> Buffer.add_string buf ("|" ^ String.concat "," d)) t.Topology.decompositions;
+      List.iter
+        (fun d -> Buffer.add_string buf ("|" ^ String.concat "," d))
+        (Atomic.get t.Topology.decompositions);
       Buffer.add_char buf '\n')
     (Topology.all engine.Engine.ctx.Context.registry);
   let prefixes = [ "AllTops_"; "LeftTops_"; "ExcpTops_"; "TopInfo_" ] in
