@@ -6,6 +6,9 @@
    - both report `identical = true` (jobs > 1 output bit-identical to
      jobs = 1 — the correctness half of the gate);
    - the serve tier reported zero per-query errors;
+   - the cache section reports `identical = true` (warm and cold cached
+     passes fingerprint bit-identically to the uncached run) and a warm
+     hit rate above zero (the cache actually served repeats);
    - serve throughput at jobs = 4 is at least MIN_RATIO x the jobs = 1
      throughput (sanity floor, not a strict perf SLA: it demands that
      adding domains does not make serving much slower.  The floor is a
@@ -69,6 +72,14 @@ let () =
   check_identical serve_path serve;
   let errors = sweep_field serve_path serve ~jobs:1 "errors" in
   if errors <> 0.0 then fail "%s: serve reported %g per-query errors" serve_path errors;
+  let cache = get serve_path serve "cache" in
+  if not (as_bool serve_path "cache.identical" (get serve_path cache "identical")) then
+    fail "%s: cached serve output differs from the uncached run (cache.identical=false)" serve_path;
+  let warm_hit_rate = as_num serve_path "cache.warm_hit_rate" (get serve_path cache "warm_hit_rate") in
+  if warm_hit_rate <= 0.0 then
+    fail "%s: warm pass had zero cache hits (warm_hit_rate=%g)" serve_path warm_hit_rate;
+  Printf.printf "ok: %s cached output identical to uncached, warm hit rate %.0f%%\n" serve_path
+    (100.0 *. warm_hit_rate);
   let qps1 = sweep_field serve_path serve ~jobs:1 "qps" in
   let qps4 = sweep_field serve_path serve ~jobs:4 "qps" in
   let min_ratio =

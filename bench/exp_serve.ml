@@ -99,6 +99,55 @@ let run () =
   if List.exists (fun (_, _, _, errors) -> errors > 0) results then
     failwith "serve tier reported per-query errors on a healthy workload";
   Printf.printf "\nall %d batches bit-identical to jobs=1\n" (List.length results);
+  (* Warm-vs-cold cache sweep: a fresh result+plan cache per jobs value,
+     one cold pass to populate it, one warm pass over the same cache.
+     Both must fingerprint bit-identically to the uncached sweep above —
+     the cache may only change speed, never answers.  Intra-batch repeats
+     (batch_repeat > 1) give even the cold pass some hits. *)
+  Pretty.section "Serve — result cache, warm vs cold";
+  let tier_rate (s : Serve.stats) =
+    match s.Serve.cache with
+    | Some c -> Topo_core.Cache.hit_rate c.Topo_core.Cache.results
+    | None -> 0.0
+  in
+  let cache_results =
+    List.map
+      (fun jobs ->
+        let cache = Engine.cache engine in
+        let serve () =
+          let t0 = Unix.gettimeofday () in
+          let outcomes, stats = Serve.run ~jobs ~cache engine requests in
+          let t = Unix.gettimeofday () -. t0 in
+          (Digest.to_hex (Digest.string (Serve.fingerprint outcomes)), stats, t)
+        in
+        let fp_cold, stats_cold, cold_s = serve () in
+        let fp_warm, stats_warm, warm_s = serve () in
+        (jobs, fp_cold, cold_s, tier_rate stats_cold, fp_warm, warm_s, tier_rate stats_warm))
+      [ 1; 4 ]
+  in
+  let cache_identical =
+    List.for_all (fun (_, fpc, _, _, fpw, _, _) -> fpc = base_fp && fpw = base_fp) cache_results
+  in
+  Printf.printf "%-6s %-9s %-9s %-9s %-10s %-10s %s\n" "jobs" "cold_s" "warm_s" "speedup"
+    "cold_hits" "warm_hits" "fingerprints";
+  List.iter
+    (fun (jobs, fpc, cold_s, hr_c, fpw, warm_s, hr_w) ->
+      Printf.printf "%-6d %-9.3f %-9.3f %-9.2f %-10s %-10s %s\n" jobs cold_s warm_s
+        (cold_s /. warm_s)
+        (Printf.sprintf "%.0f%%" (100.0 *. hr_c))
+        (Printf.sprintf "%.0f%%" (100.0 *. hr_w))
+        (if fpc = base_fp && fpw = base_fp then "= uncached" else "MISMATCH"))
+    cache_results;
+  if not cache_identical then
+    failwith "cached serve is not transparent: fingerprints differ from the uncached run";
+  let min_warm_rate =
+    List.fold_left (fun acc (_, _, _, _, _, _, hr_w) -> min acc hr_w) 1.0 cache_results
+  in
+  if min_warm_rate < 0.5 then
+    failwith
+      (Printf.sprintf "warm-pass hit rate %.0f%% below the 50%% floor" (100.0 *. min_warm_rate));
+  Printf.printf "\ncached runs bit-identical to uncached; warm hit rate >= %.0f%%\n"
+    (100.0 *. min_warm_rate);
   let json =
     Obs.Json.Obj
       [
@@ -123,6 +172,26 @@ let run () =
                      ("errors", Obs.Json.int errors);
                    ])
                results) );
+        ( "cache",
+          Obs.Json.Obj
+            [
+              ("identical", Obs.Json.Bool cache_identical);
+              ("warm_hit_rate", Obs.Json.Num min_warm_rate);
+              ( "sweep",
+                Obs.Json.Arr
+                  (List.map
+                     (fun (jobs, _, cold_s, hr_c, _, warm_s, hr_w) ->
+                       Obs.Json.Obj
+                         [
+                           ("jobs", Obs.Json.int jobs);
+                           ("cold_s", Obs.Json.Num cold_s);
+                           ("warm_s", Obs.Json.Num warm_s);
+                           ("speedup", Obs.Json.Num (cold_s /. warm_s));
+                           ("cold_hit_rate", Obs.Json.Num hr_c);
+                           ("warm_hit_rate", Obs.Json.Num hr_w);
+                         ])
+                     cache_results) );
+            ] );
       ]
   in
   let oc = open_out "BENCH_SERVE.json" in

@@ -160,7 +160,12 @@ let query_run scale seed l threshold t1 t2 kw1 kw2 dna_type method_ scheme k ins
   let q = Query.make (endpoint t1 kw1 None) (endpoint t2 kw2 dna_type) in
   Printf.printf "query: %s\nmethod: %s, scheme: %s, k: %d\n\n" (Query.to_string q)
     (Engine.method_name method_) (Ranking.name scheme) k;
-  let r = Engine.run engine q ~method_ ~scheme ~k () in
+  (* The canonical request/outcome path: same machinery the serving tier
+     uses, one request at a time. *)
+  let outcome = Engine.run_request engine (Topo_core.Request.make ~scheme ~k method_ q) in
+  let r =
+    match outcome.Topo_core.Request.result with Ok r -> r | Error e -> raise e
+  in
   if instances then Topo_core.Report.print engine q r ()
   else
     List.iteri
@@ -492,16 +497,18 @@ module Serve = Topo_core.Serve
 (* Workload file: one request per line,
      METHOD[; scheme[; k[; kw1[; kw2]]]]
    Empty fields take defaults (Freq, 10, no keyword); `#` starts a
-   comment.  Keywords constrain the endpoint's `desc` column. *)
+   comment.  Keywords constrain the endpoint's `desc` column.  A
+   malformed line is reported with its line number, skipped, and counted
+   — one bad line does not abort the batch. *)
 let parse_workload_line catalog ~t1 ~t2 lineno line =
   let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
   let fields = String.split_on_char ';' line |> List.map String.trim in
   match fields with
-  | [] | [ "" ] -> None
+  | [] | [ "" ] -> `Blank
   | m :: rest -> (
-      let fail msg =
-        Printf.eprintf "workload line %d: %s\n" lineno msg;
-        exit 2
+      let malformed msg =
+        Printf.eprintf "workload line %d: %s (skipped)\n" lineno msg;
+        `Malformed
       in
       let get i = Option.value ~default:"" (List.nth_opt rest i) in
       match
@@ -509,30 +516,43 @@ let parse_workload_line catalog ~t1 ~t2 lineno line =
           (fun mm -> String.lowercase_ascii (Engine.method_name mm) = String.lowercase_ascii m)
           Engine.all_methods
       with
-      | None -> fail (Printf.sprintf "unknown method %S" m)
-      | Some method_ ->
-          let scheme =
-            if get 0 = "" then Ranking.Freq
-            else try Ranking.of_name (get 0) with Invalid_argument _ -> fail ("unknown scheme " ^ get 0)
-          in
-          let k =
-            if get 1 = "" then 10
-            else match int_of_string_opt (get 1) with Some k -> k | None -> fail ("bad k " ^ get 1)
-          in
-          let ep entity kw =
-            if kw = "" then Query.endpoint catalog entity
-            else Query.keyword catalog entity ~col:"desc" ~kw
-          in
-          Some (Serve.request ~scheme ~k method_ (Query.make (ep t1 (get 2)) (ep t2 (get 3)))))
+      | None -> malformed (Printf.sprintf "unknown method %S" m)
+      | Some method_ -> (
+          match
+            if get 0 = "" then Some Ranking.Freq
+            else try Some (Ranking.of_name (get 0)) with Invalid_argument _ -> None
+          with
+          | None -> malformed ("unknown scheme " ^ get 0)
+          | Some scheme -> (
+              match if get 1 = "" then Some 10 else int_of_string_opt (get 1) with
+              | None -> malformed ("bad k " ^ get 1)
+              | Some k ->
+                  let ep entity kw =
+                    if kw = "" then Query.endpoint catalog entity
+                    else Query.keyword catalog entity ~col:"desc" ~kw
+                  in
+                  `Request
+                    (Serve.request ~scheme ~k method_
+                       (Query.make (ep t1 (get 2)) (ep t2 (get 3)))))))
 
+(* Returns the parsed requests plus the count of malformed lines skipped. *)
 let read_workload catalog ~t1 ~t2 path =
   match open_in path with
   | ic ->
       let text = really_input_string ic (in_channel_length ic) in
       close_in ic;
-      String.split_on_char '\n' text
-      |> List.mapi (fun i line -> parse_workload_line catalog ~t1 ~t2 (i + 1) line)
-      |> List.filter_map Fun.id
+      let skipped = ref 0 in
+      let requests =
+        String.split_on_char '\n' text
+        |> List.mapi (fun i line -> parse_workload_line catalog ~t1 ~t2 (i + 1) line)
+        |> List.filter_map (function
+             | `Request r -> Some r
+             | `Blank -> None
+             | `Malformed ->
+                 incr skipped;
+                 None)
+      in
+      (requests, !skipped)
   | exception Sys_error msg ->
       prerr_endline msg;
       exit 2
@@ -550,20 +570,23 @@ let default_workload catalog ~t1 ~t2 =
         [ "kinase"; "enzyme"; "" ])
     Engine.all_methods
 
-let serve_run scale seed l threshold t1 t2 jobs file repeat traces check =
+let serve_run scale seed l threshold t1 t2 jobs file repeat traces check use_cache cache_size =
   let catalog = make_instance scale seed in
   let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
-  let base =
+  let base, skipped =
     match file with
     | Some path -> read_workload catalog ~t1 ~t2 path
-    | None -> default_workload catalog ~t1 ~t2
+    | None -> (default_workload catalog ~t1 ~t2, 0)
   in
+  if skipped > 0 then
+    Printf.printf "skipped %d malformed line%s\n" skipped (if skipped = 1 then "" else "s");
   if base = [] then begin
     prerr_endline "empty workload";
     exit 2
   end;
+  let cache = if use_cache then Some (Engine.cache ~results:cache_size engine) else None in
   let requests = List.concat (List.init (max 1 repeat) (fun _ -> base)) in
-  let outcomes, stats = Serve.run ?jobs ~traces engine requests in
+  let outcomes, stats = Serve.run ?jobs ~traces ?cache engine requests in
   List.iteri
     (fun i (o : Serve.outcome) ->
       if i < List.length base then
@@ -598,7 +621,20 @@ let serve_run scale seed l threshold t1 t2 jobs file repeat traces check =
     stats.Serve.errors
     (if stats.Serve.errors = 1 then "" else "s")
     stats.Serve.elapsed_s stats.Serve.domains_used stats.Serve.jobs stats.Serve.throughput_qps;
+  (match stats.Serve.cache with
+  | Some c ->
+      let r = c.Topo_core.Cache.results in
+      Printf.printf
+        "cache: %d hits, %d misses (%.0f%% hit rate), %d evictions, %d invalidations; %d plan \
+         hits, %d plan misses\n"
+        r.Topo_core.Cache.hits r.Topo_core.Cache.misses
+        (100.0 *. Topo_core.Cache.hit_rate r)
+        r.Topo_core.Cache.evictions r.Topo_core.Cache.invalidations
+        c.Topo_core.Cache.plans.Topo_core.Cache.hits c.Topo_core.Cache.plans.Topo_core.Cache.misses
+  | None -> ());
   if check then begin
+    (* The reference pass is sequential AND uncached, so with --cache this
+       also asserts that serving from the cache changed no answer. *)
     let seq_outcomes, _ = Serve.run ~jobs:1 engine requests in
     if Serve.fingerprint outcomes = Serve.fingerprint seq_outcomes then begin
       print_endline "determinism check: concurrent results bit-identical to jobs=1";
@@ -640,17 +676,36 @@ let serve_cmd =
   let check =
     Arg.(
       value & flag
-      & info [ "check" ] ~doc:"Re-run the batch at jobs=1 and fail unless results are bit-identical.")
+      & info [ "check" ]
+          ~doc:
+            "Re-run the batch at jobs=1 (sequential, uncached) and fail unless results are \
+             bit-identical.")
+  in
+  let use_cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Share a result + plan cache across the serving domains: repeated requests are \
+             answered from memoized results (generation-stamped against the topology registry, \
+             so online re-registration never serves a stale answer).  Results stay bit-identical \
+             to an uncached run.")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Result-cache capacity in entries (LRU eviction past this).")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Evaluate a batch of topology queries concurrently across OCaml domains (the online \
           serving tier): shared read-only stores, per-domain engine handles, per-query counters \
-          and traces, deterministic input-order results.")
+          and traces, optional shared result/plan cache, deterministic input-order results.")
     Term.(
       const serve_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ jobs
-      $ file $ repeat $ traces $ check)
+      $ file $ repeat $ traces $ check $ use_cache $ cache_size)
 
 (* ------------------------------------------------------------------ *)
 (* nquery                                                               *)

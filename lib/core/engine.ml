@@ -1,8 +1,11 @@
 module Pool = Topo_util.Pool
+module Counters = Topo_sql.Iterator.Counters
 
 type t = { ctx : Context.t; build_stats : (string * string * Compute.stats) list; jobs : int }
 
-type method_ =
+(* The enum lives in [Methods]; re-export it (constructors included) so
+   existing callers keep writing [Engine.Fast_top_k_opt]. *)
+type method_ = Methods.method_ =
   | Sql
   | Full_top
   | Fast_top
@@ -13,29 +16,9 @@ type method_ =
   | Full_top_k_opt
   | Fast_top_k_opt
 
-let all_methods =
-  [
-    Sql;
-    Full_top;
-    Fast_top;
-    Full_top_k;
-    Fast_top_k;
-    Full_top_k_et;
-    Fast_top_k_et;
-    Full_top_k_opt;
-    Fast_top_k_opt;
-  ]
+let all_methods = Methods.all_methods
 
-let method_name = function
-  | Sql -> "SQL"
-  | Full_top -> "Full-Top"
-  | Fast_top -> "Fast-Top"
-  | Full_top_k -> "Full-Top-k"
-  | Fast_top_k -> "Fast-Top-k"
-  | Full_top_k_et -> "Full-Top-k-ET"
-  | Fast_top_k_et -> "Fast-Top-k-ET"
-  | Full_top_k_opt -> "Full-Top-k-Opt"
-  | Fast_top_k_opt -> "Fast-Top-k-Opt"
+let method_name = Methods.method_name
 
 (* The offline phase, parallelized on a domain pool.  The per-entity-pair
    sweeps are flattened into two shared task arrays — one task per
@@ -131,48 +114,120 @@ let build catalog ~pairs ?(l = 3) ?(caps = Compute.default_caps) ?(pruning_thres
       in
       { ctx; build_stats; jobs = Pool.jobs pool })
 
-type result = {
+type result = Request.result = {
   ranked : (int * float option) list;
   elapsed_s : float;
   method_ : method_;
   strategy : Topo_sql.Optimizer.strategy option;
 }
 
-let run t query ~method_ ?(scheme = Ranking.Freq) ?(k = 10) ?impls ?(verify_plans = false) ?trace
-    () =
-  let aligned = Methods.align t.ctx query in
-  let check = verify_plans in
-  let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
-  let plain l = List.map (fun tid -> (tid, None)) l in
+let cache ?results ?plans t = Cache.create ?results ?plans t.ctx.Context.registry
+
+(* The raw evaluation: dispatch the method, time it, trace it.  Counters
+   accumulate in whatever scope is installed on the calling domain;
+   exceptions propagate.  Both [run] and [run_request] bottom out here. *)
+let eval t (req : Request.t) ?impls ?(verify_plans = false) ?cache ?trace () =
+  let aligned = Methods.align t.ctx req.Request.query in
   let evaluate ?trace () =
-    match method_ with
-    | Sql -> (plain (Methods.sql_method ?trace t.ctx aligned), None)
-    | Full_top -> (plain (Methods.full_top ~check ?trace t.ctx aligned), None)
-    | Fast_top -> (plain (Methods.fast_top ~check ?trace t.ctx aligned), None)
-    | Full_top_k -> (with_scores (Methods.full_top_k ~check ?trace t.ctx aligned ~scheme ~k), None)
-    | Fast_top_k -> (with_scores (Methods.fast_top_k ~check ?trace t.ctx aligned ~scheme ~k), None)
-    | Full_top_k_et ->
-        (with_scores (Methods.full_top_k_et ~check ?trace t.ctx aligned ~scheme ~k ?impls ()), None)
-    | Fast_top_k_et ->
-        (with_scores (Methods.fast_top_k_et ~check ?trace t.ctx aligned ~scheme ~k ?impls ()), None)
-    | Full_top_k_opt ->
-        let results, strategy = Methods.full_top_k_opt ~check ?trace t.ctx aligned ~scheme ~k in
-        (with_scores results, Some strategy)
-    | Fast_top_k_opt ->
-        let results, strategy = Methods.fast_top_k_opt ~check ?trace t.ctx aligned ~scheme ~k in
-        (with_scores results, Some strategy)
+    Methods.dispatch req.Request.method_ ~check:verify_plans ?trace ?impls ?cache t.ctx aligned
+      ~scheme:req.Request.scheme ~k:req.Request.k
   in
   let start = Unix.gettimeofday () in
   let ranked, strategy =
     match trace with
     | None -> evaluate ()
     | Some tr ->
-        Topo_obs.Trace.with_span tr (method_name method_)
-          ~tags:[ ("scheme", Ranking.name scheme); ("k", string_of_int k) ]
+        Topo_obs.Trace.with_span tr (method_name req.Request.method_)
+          ~tags:
+            [ ("scheme", Ranking.name req.Request.scheme); ("k", string_of_int req.Request.k) ]
           (fun () -> evaluate ?trace ())
   in
   let elapsed_s = Unix.gettimeofday () -. start in
-  { ranked; elapsed_s; method_; strategy }
+  { ranked; elapsed_s; method_ = req.Request.method_; strategy }
+
+(* [run] predates [run_request] and stays as the sequential convenience
+   wrapper: counters land in the ambient scope (a cache hit replays the
+   stored work there, so counter-based tests see identical numbers with
+   and without a cache) and exceptions propagate to the caller. *)
+let run t query ~method_ ?scheme ?k ?impls ?(verify_plans = false) ?cache ?trace () =
+  let req = Request.make ?scheme ?k method_ query in
+  match cache with
+  | Some c when not verify_plans -> (
+      let key = Request.key req in
+      match Cache.find_result c ~key with
+      | Some p ->
+          Counters.add_tuples p.Cache.counters.Counters.tuples;
+          Counters.add_probes p.Cache.counters.Counters.index_probes;
+          Counters.add_scanned p.Cache.counters.Counters.rows_scanned;
+          (match trace with
+          | Some tr -> Topo_obs.Trace.with_span tr "cache_hit" ~tags:[ ("key", key) ] (fun () -> ())
+          | None -> ());
+          {
+            ranked = p.Cache.ranked;
+            elapsed_s = 0.0;
+            method_ = req.Request.method_;
+            strategy = p.Cache.strategy;
+          }
+      | None ->
+          let stamp = Cache.stamp c in
+          (* [with_reset]: captures this query's own work for the cache
+             while still crediting it to the surrounding scope. *)
+          let r, counters =
+            Counters.with_reset (fun () -> eval t req ?impls ~verify_plans ~cache:c ?trace ())
+          in
+          Cache.add_result c ~key ~stamp
+            { Cache.ranked = r.ranked; strategy = r.strategy; counters };
+          r)
+  | Some _ | None -> eval t req ?impls ~verify_plans ?cache ?trace ()
+
+let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Request.t) =
+  let trace = if traces then Some (Topo_obs.Trace.create ()) else None in
+  (* Verification mode re-checks every plan the evaluation builds; a cache
+     hit would silently skip that, so caching is bypassed entirely. *)
+  let cache = if verify_plans then None else cache in
+  let outcome result counters status =
+    {
+      Request.request = req;
+      result;
+      counters;
+      served_by = (Domain.self () :> int);
+      trace;
+      cache = status;
+    }
+  in
+  let evaluate ?cache () =
+    Counters.with_scope (fun () ->
+        try Ok (eval t req ~verify_plans ?cache ?trace ()) with e -> Error e)
+  in
+  match cache with
+  | None ->
+      let result, counters = evaluate () in
+      outcome result counters Request.Uncached
+  | Some c -> (
+      let key = Request.key req in
+      match Cache.find_result c ~key with
+      | Some p ->
+          (match trace with
+          | Some tr -> Topo_obs.Trace.with_span tr "cache_hit" ~tags:[ ("key", key) ] (fun () -> ())
+          | None -> ());
+          outcome
+            (Ok
+               {
+                 Request.ranked = p.Cache.ranked;
+                 elapsed_s = 0.0;
+                 method_ = req.Request.method_;
+                 strategy = p.Cache.strategy;
+               })
+            p.Cache.counters Request.Hit
+      | None ->
+          let stamp = Cache.stamp c in
+          let result, counters = evaluate ~cache:c () in
+          (match result with
+          | Ok r ->
+              Cache.add_result c ~key ~stamp
+                { Cache.ranked = r.Request.ranked; strategy = r.Request.strategy; counters }
+          | Error _ -> (* failures are not memoized: they re-raise deterministically *) ());
+          outcome result counters Request.Miss)
 
 let topology t tid = Topology.find t.ctx.Context.registry tid
 

@@ -12,7 +12,10 @@ type t = {
   jobs : int;  (** parallelism degree the offline build actually used *)
 }
 
-type method_ =
+(** The nine-method enum, owned by {!Methods} and re-exported here with
+    its constructors, so [Engine.Fast_top_k_opt] and
+    [Methods.Fast_top_k_opt] are the same value. *)
+type method_ = Methods.method_ =
   | Sql
   | Full_top
   | Fast_top
@@ -56,23 +59,58 @@ val build :
   unit ->
   t
 
-type result = {
+(** The historical result record, now an alias of {!Request.result}. *)
+type result = Request.result = {
   ranked : (int * float option) list;  (** TIDs with scores for top-k methods *)
   elapsed_s : float;
   method_ : method_;
   strategy : Topo_sql.Optimizer.strategy option;  (** what an -Opt method chose *)
 }
 
+(** [cache ?results ?plans t] is a fresh {!Cache.t} tied to this engine's
+    topology registry (capacities as in {!Cache.create}).  Share one cache
+    per engine; it is safe for concurrent domains. *)
+val cache : ?results:int -> ?plans:int -> t -> Cache.t
+
+(** [run_request t ?cache ?verify_plans ?traces request] is the canonical
+    single-query entry point: it evaluates [request] under a fresh private
+    counter scope and returns the full {!Request.outcome} — result or
+    exception, isolated counters, serving domain, optional private trace,
+    and cache status.
+
+    With [?cache], the result tier is consulted first: a hit returns the
+    memoized ranked list, strategy, and the {e stored} counter snapshot
+    (replayed so cold and warm passes fingerprint identically, with a
+    ["cache_hit"] span when tracing); a miss evaluates with the plan tier
+    threaded through the optimizer and memoizes the outcome, stamped with
+    the topology-registry generation observed before evaluation.  Failed
+    evaluations are never memoized.  [verify_plans] bypasses caching
+    entirely (a hit would skip the verification the caller asked for).
+    [traces] (default false) attaches a private {!Topo_obs.Trace.t}. *)
+val run_request :
+  t -> ?cache:Cache.t -> ?verify_plans:bool -> ?traces:bool -> Request.t -> Request.outcome
+
 (** [run t query ~method_ ?scheme ?k ?impls ?verify_plans ()] evaluates.
+    A thin wrapper over the {!Request} machinery kept for sequential
+    callers: unlike {!run_request} it lets exceptions propagate and
+    accumulates counters in the {e ambient}
+    {!Topo_sql.Iterator.Counters} scope (on a cache hit the stored
+    counters are replayed into that scope, so counter-observing callers
+    see identical numbers with and without a cache).  Not for concurrent
+    use — domains sharing the global counter scope would interleave;
+    concurrent callers go through {!Serve.run} / {!run_request}.
+
     [scheme] defaults to [Freq], [k] to 10; both are ignored by non-top-k
     methods.  [impls] pins DGJ implementations for the -ET methods.
     [verify_plans] (default false) checks every physical plan the method
     builds with {!Topo_sql.Plan_check} before executing it — raising
     {!Topo_sql.Plan_check.Plan_error} on a malformed plan — and runs -ET
     iterator trees under the {!Topo_sql.Iterator_check} protocol
-    checker.  [trace], when given, records a span tree of the evaluation
-    phases (root span named after the method, tagged with scheme and k)
-    into the supplied {!Topo_obs.Trace}. *)
+    checker.  [cache], when given (and verification is off), memoizes
+    results and optimizer pricing exactly as in {!run_request}.  [trace],
+    when given, records a span tree of the evaluation phases (root span
+    named after the method, tagged with scheme and k) into the supplied
+    {!Topo_obs.Trace}. *)
 val run :
   t ->
   Query.t ->
@@ -81,6 +119,7 @@ val run :
   ?k:int ->
   ?impls:[ `I | `H ] list ->
   ?verify_plans:bool ->
+  ?cache:Cache.t ->
   ?trace:Topo_obs.Trace.t ->
   unit ->
   result

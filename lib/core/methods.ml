@@ -2,6 +2,51 @@ open Topo_sql
 module Sg = Topo_graph.Schema_graph
 module Dg = Topo_graph.Data_graph
 
+(* The nine evaluation methods of the experimental study (Section 6.1).
+   This module owns the enum; [Engine] re-exports it so existing callers
+   keep writing [Engine.Fast_top_k_opt]. *)
+type method_ =
+  | Sql
+  | Full_top
+  | Fast_top
+  | Full_top_k
+  | Fast_top_k
+  | Full_top_k_et
+  | Fast_top_k_et
+  | Full_top_k_opt
+  | Fast_top_k_opt
+
+let all_methods =
+  [
+    Sql;
+    Full_top;
+    Fast_top;
+    Full_top_k;
+    Fast_top_k;
+    Full_top_k_et;
+    Fast_top_k_et;
+    Full_top_k_opt;
+    Fast_top_k_opt;
+  ]
+
+let method_name = function
+  | Sql -> "SQL"
+  | Full_top -> "Full-Top"
+  | Fast_top -> "Fast-Top"
+  | Full_top_k -> "Full-Top-k"
+  | Fast_top_k -> "Fast-Top-k"
+  | Full_top_k_et -> "Full-Top-k-ET"
+  | Fast_top_k_et -> "Fast-Top-k-ET"
+  | Full_top_k_opt -> "Full-Top-k-Opt"
+  | Fast_top_k_opt -> "Fast-Top-k-Opt"
+
+(* Non-top-k methods ignore the ranking scheme and k entirely; the
+   serving tier's cache key normalizes on this. *)
+let ranks = function
+  | Sql | Full_top | Fast_top -> false
+  | Full_top_k | Fast_top_k | Full_top_k_et | Fast_top_k_et | Full_top_k_opt | Fast_top_k_opt ->
+      true
+
 type aligned = { store : Store.t; ea : Query.endpoint; eb : Query.endpoint }
 
 let align (ctx : Context.t) (q : Query.t) =
@@ -132,10 +177,12 @@ let fast_top ?check ?trace ctx aligned =
   in
   List.sort_uniq compare (base @ extra)
 
-let sql_method ?trace (ctx : Context.t) aligned =
+let sql_method ?(check = false) ?trace (ctx : Context.t) aligned =
   (* One existence probe per observed topology; every probe recomputes pair
      topologies from base data (no sharing between probes — the method's
-     documented inefficiency). *)
+     documented inefficiency).  [check] is accepted for signature
+     uniformity: this method builds no physical plans to verify. *)
+  ignore check;
   let topinfo = Catalog.find ctx.Context.catalog aligned.store.Store.topinfo in
   let observed = ref [] in
   Table.iter (fun _ tuple -> observed := Value.as_int tuple.(0) :: !observed) topinfo;
@@ -302,23 +349,54 @@ let fast_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) 
   in
   sp ?trace "merge_with_pruned" (fun () -> merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next)
 
-let regular_topk ?(check = false) ?trace ctx aligned ~fact ~scheme ~k =
+(* Plan-tier memoization of the optimizer's pricing searches.  Only the
+   unchecked path is cached: [~check:true] exists to re-verify every
+   candidate the pricer visits, which a cache hit would silently skip. *)
+let regular_plan_cached ?cache ~check ctx spec =
+  match cache with
+  | Some c when not check -> (
+      let key = Cache.plan_key ~tag:"regular" spec in
+      match Cache.find_plan c ~key with
+      | Some (Cache.Regular_plan (plan, cost)) -> (plan, cost)
+      | Some (Cache.Choice _) | None ->
+          let stamp = Cache.stamp c in
+          let plan, cost = Optimizer.regular_plan ~check ctx.Context.catalog spec in
+          Cache.add_plan c ~key ~stamp (Cache.Regular_plan (plan, cost));
+          (plan, cost))
+  | Some _ | None -> Optimizer.regular_plan ~check ctx.Context.catalog spec
+
+let choose_cached ?cache ~check ctx spec =
+  match cache with
+  | Some c when not check -> (
+      let key = Cache.plan_key ~tag:"choose" spec in
+      match Cache.find_plan c ~key with
+      | Some (Cache.Choice strategy) -> strategy
+      | Some (Cache.Regular_plan _) | None ->
+          let stamp = Cache.stamp c in
+          let strategy = (Optimizer.choose ~check ctx.Context.catalog spec).Optimizer.strategy in
+          Cache.add_plan c ~key ~stamp (Cache.Choice strategy);
+          strategy)
+  | Some _ | None -> (Optimizer.choose ~check ctx.Context.catalog spec).Optimizer.strategy
+
+let regular_topk ?(check = false) ?trace ?cache ctx aligned ~fact ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact ~scheme ~k in
   let plan, _cost =
     sp ?trace "optimize" ~tags:[ ("fact", fact) ] (fun () ->
-        Optimizer.regular_plan ~check ctx.Context.catalog spec)
+        regular_plan_cached ?cache ~check ctx spec)
   in
   sp ?trace "execute" (fun () ->
       Physical.run ctx.Context.catalog plan
       |> List.map (fun tuple -> (Value.as_int tuple.(0), Value.as_float tuple.(1))))
 
-let full_top_k ?check ?trace ctx aligned ~scheme ~k =
-  regular_topk ?check ?trace ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
+let full_top_k ?check ?trace ?cache ctx aligned ~scheme ~k =
+  regular_topk ?check ?trace ?cache ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k
 
-let fast_top_k ?check ?trace ctx aligned ~scheme ~k =
+let fast_top_k ?check ?trace ?cache ctx aligned ~scheme ~k =
   (* SQL4: top-k over LeftTops first; SQL5 checks for pruned topologies
      whose score could enter the result. *)
-  let base = regular_topk ?check ?trace ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
+  let base =
+    regular_topk ?check ?trace ?cache ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k
+  in
   let kth_score =
     if List.length base >= k then List.fold_left (fun acc (_, s) -> Float.min acc s) infinity base
     else neg_infinity
@@ -345,29 +423,58 @@ let strategy_name = function
   | Optimizer.Regular -> "regular"
   | Optimizer.Early_termination -> "early-termination"
 
-let choose_strategy ~check ?trace ctx spec =
+let choose_strategy ~check ?trace ?cache ctx spec =
   match trace with
-  | None -> (Optimizer.choose ~check ctx.Context.catalog spec).Optimizer.strategy
+  | None -> choose_cached ?cache ~check ctx spec
   | Some t ->
       let span = Topo_obs.Trace.start t "choose" in
-      let decision =
+      let strategy =
         Fun.protect
           ~finally:(fun () -> Topo_obs.Trace.finish t span)
-          (fun () -> Optimizer.choose ~check ctx.Context.catalog spec)
+          (fun () -> choose_cached ?cache ~check ctx spec)
       in
-      Topo_obs.Trace.add_tag span "strategy" (strategy_name decision.Optimizer.strategy);
-      decision.Optimizer.strategy
+      Topo_obs.Trace.add_tag span "strategy" (strategy_name strategy);
+      strategy
 
-let full_top_k_opt ?(check = false) ?trace ctx aligned ~scheme ~k =
+let full_top_k_opt ?(check = false) ?trace ?cache ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
-  match choose_strategy ~check ?trace ctx spec with
-  | Optimizer.Regular -> (full_top_k ~check ?trace ctx aligned ~scheme ~k, Optimizer.Regular)
+  match choose_strategy ~check ?trace ?cache ctx spec with
+  | Optimizer.Regular -> (full_top_k ~check ?trace ?cache ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
       (full_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)
 
-let fast_top_k_opt ?(check = false) ?trace ctx aligned ~scheme ~k =
+let fast_top_k_opt ?(check = false) ?trace ?cache ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
-  match choose_strategy ~check ?trace ctx spec with
-  | Optimizer.Regular -> (fast_top_k ~check ?trace ctx aligned ~scheme ~k, Optimizer.Regular)
+  match choose_strategy ~check ?trace ?cache ctx spec with
+  | Optimizer.Regular -> (fast_top_k ~check ?trace ?cache ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
       (fast_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+(* The single entry point over the nine-method enum: scores are lifted to
+   a uniform [(tid, score option)] shape and the -Opt methods report
+   their strategy choice.  [Engine], the serving tier and the benchmarks
+   all route through this instead of hand-written nine-way matches.
+   [impls] only reaches the -ET methods; [cache] (the plan tier) only the
+   methods that price plans. *)
+let dispatch method_ ?(check = false) ?trace ?impls ?cache ctx aligned ~scheme ~k =
+  let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
+  let plain l = List.map (fun tid -> (tid, None)) l in
+  match method_ with
+  | Sql -> (plain (sql_method ~check ?trace ctx aligned), None)
+  | Full_top -> (plain (full_top ~check ?trace ctx aligned), None)
+  | Fast_top -> (plain (fast_top ~check ?trace ctx aligned), None)
+  | Full_top_k -> (with_scores (full_top_k ~check ?trace ?cache ctx aligned ~scheme ~k), None)
+  | Fast_top_k -> (with_scores (fast_top_k ~check ?trace ?cache ctx aligned ~scheme ~k), None)
+  | Full_top_k_et ->
+      (with_scores (full_top_k_et ~check ?trace ctx aligned ~scheme ~k ?impls ()), None)
+  | Fast_top_k_et ->
+      (with_scores (fast_top_k_et ~check ?trace ctx aligned ~scheme ~k ?impls ()), None)
+  | Full_top_k_opt ->
+      let results, strategy = full_top_k_opt ~check ?trace ?cache ctx aligned ~scheme ~k in
+      (with_scores results, Some strategy)
+  | Fast_top_k_opt ->
+      let results, strategy = fast_top_k_opt ~check ?trace ?cache ctx aligned ~scheme ~k in
+      (with_scores results, Some strategy)

@@ -16,6 +16,31 @@
     - *-Opt methods pick between the -k and -ET plans with the Section 5.4
       cost model. *)
 
+(** The method enum, in the order of Table 2's rows.  This module owns the
+    type; {!Engine} re-exports it (constructors included) so callers keep
+    writing [Engine.Fast_top_k_opt]. *)
+type method_ =
+  | Sql
+  | Full_top
+  | Fast_top
+  | Full_top_k
+  | Fast_top_k
+  | Full_top_k_et
+  | Fast_top_k_et
+  | Full_top_k_opt
+  | Fast_top_k_opt
+
+(** Every method, in the order of Table 2's rows. *)
+val all_methods : method_ list
+
+(** [method_name m] is the paper's name, e.g. ["Fast-Top-k-ET"]. *)
+val method_name : method_ -> string
+
+(** [ranks m] is false for the three methods (SQL, Full-Top, Fast-Top)
+    that ignore the ranking scheme and k entirely; the cache key
+    normalizes on this. *)
+val ranks : method_ -> bool
+
 type aligned = {
   store : Store.t;
   ea : Query.endpoint;  (** the endpoint on the store's E1 side *)
@@ -35,11 +60,13 @@ val align : Context.t -> Query.t -> aligned
     topologies from scratch, which is the method's documented
     inefficiency.
 
-    Every method takes an optional [?trace]; when given, the method opens
-    {!Topo_obs.Trace} spans around its phases (plan building, optimizer
-    choice, execution, pruned-topology checks) so [toposearch profile] can
-    show where the time goes. *)
-val sql_method : ?trace:Topo_obs.Trace.t -> Context.t -> aligned -> int list
+    All nine methods share the [?check ?trace] labelled-argument prefix.
+    [?check] (default false) verifies physical plans before execution —
+    accepted-but-inert here, as the SQL method builds none.  [?trace],
+    when given, opens {!Topo_obs.Trace} spans around each method's phases
+    (plan building, optimizer choice, execution, pruned-topology checks)
+    so [toposearch profile] can show where the time goes. *)
+val sql_method : ?check:bool -> ?trace:Topo_obs.Trace.t -> Context.t -> aligned -> int list
 
 (** [full_top ctx aligned] evaluates the single AllTops join of
     Section 3.2.  On every plan-building method, [~check:true] (default
@@ -56,14 +83,21 @@ val fast_top : ?check:bool -> ?trace:Topo_obs.Trace.t -> Context.t -> aligned ->
 (** {1 Top-k methods} — return at most [k] (tid, score) pairs, score
     descending. *)
 
+(** The plan-pricing methods additionally take [?cache]: when given (and
+    [check] is off), the optimizer's pricing output — the regular-plan
+    dynamic program here, the regular-vs-ET choice for the -Opt methods —
+    is memoized in the cache's plan tier, keyed by the canonical aligned
+    spec and stamped with the topology-registry generation. *)
 val full_top_k :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?cache:Cache.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
 
 val fast_top_k :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?cache:Cache.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list
 
 (** [impls] optionally pins the DGJ implementations (head = fact level) so
@@ -84,12 +118,34 @@ val fast_top_k_et :
 val full_top_k_opt :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?cache:Cache.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
 
 val fast_top_k_opt :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?cache:Cache.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
+
+(** [dispatch method_ ?check ?trace ?impls ?cache ctx aligned ~scheme ~k]
+    is the single entry point over the method enum: it lifts every result
+    to the uniform [(tid, score option)] shape (scores present exactly for
+    top-k methods) and reports the -Opt methods' strategy choice.
+    [?impls] reaches only the -ET methods, [?cache] (the plan tier) only
+    the plan-pricing methods.  {!Engine}, the serving tier and the
+    benchmarks route through this instead of hand-written nine-way
+    matches. *)
+val dispatch :
+  method_ ->
+  ?check:bool ->
+  ?trace:Topo_obs.Trace.t ->
+  ?impls:[ `I | `H ] list ->
+  ?cache:Cache.t ->
+  Context.t ->
+  aligned ->
+  scheme:Ranking.scheme ->
+  k:int ->
+  (int * float option) list * Topo_sql.Optimizer.strategy option
 
 (** [pruned_check ctx aligned topology] decides whether some qualifying
     pair satisfies the pruned topology's path condition and survives the

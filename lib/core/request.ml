@@ -1,0 +1,62 @@
+(* The shared request/outcome vocabulary of the query API.
+
+   A [Request.t] is one unit of online work — (method, query, scheme, k)
+   — and a [Request.outcome] is everything observable about evaluating
+   it: the result (or the exception it raised), the isolated work
+   counters, the domain that served it, its private trace, and whether
+   the answer came from the cache.  [Engine.run_request] is the canonical
+   evaluator; the serving tier, the CLI and the benchmarks all speak this
+   type.
+
+   [key] renders the canonical cache key.  Canonicalization folds two
+   sources of accidental variety:
+
+   - endpoint orientation: for distinct entity sets the evaluation aligns
+     the query to the stored pair's orientation, so {A, B} and {B, A}
+     with the same predicates are the same query — the two endpoint
+     renderings are sorted.  Same-entity pairs keep their order (there
+     alignment is positional, so orientation is meaningful).
+   - scheme and k: the three non-top-k methods ignore both, so their keys
+     omit them. *)
+
+type t = { method_ : Methods.method_; query : Query.t; scheme : Ranking.scheme; k : int }
+
+let make ?(scheme = Ranking.Freq) ?(k = 10) method_ query = { method_; query; scheme; k }
+
+type result = {
+  ranked : (int * float option) list;
+  elapsed_s : float;
+  method_ : Methods.method_;
+  strategy : Topo_sql.Optimizer.strategy option;
+}
+
+type cache_status = Hit | Miss | Uncached
+
+let cache_status_name = function Hit -> "hit" | Miss -> "miss" | Uncached -> "uncached"
+
+type outcome = {
+  request : t;
+  result : (result, exn) Stdlib.result;
+  counters : Topo_sql.Iterator.Counters.snapshot;
+  served_by : int;
+  trace : Topo_obs.Trace.t option;
+  cache : cache_status;
+}
+
+let endpoint_key (e : Query.endpoint) =
+  e.Query.entity ^ "["
+  ^ (match e.Query.pred with None -> "" | Some p -> Topo_sql.Expr.to_string p)
+  ^ "]"
+
+let key r =
+  let a = endpoint_key r.query.Query.e1 and b = endpoint_key r.query.Query.e2 in
+  let a, b =
+    if r.query.Query.e1.Query.entity <> r.query.Query.e2.Query.entity && a > b then (b, a)
+    else (a, b)
+  in
+  let rank = if Methods.ranks r.method_ then Ranking.name r.scheme ^ "|" ^ string_of_int r.k else "-" in
+  Printf.sprintf "%s|%s|%s|%s" (Methods.method_name r.method_) rank a b
+
+let to_string (r : t) =
+  Printf.sprintf "%s %s k=%d %s" (Methods.method_name r.method_) (Ranking.name r.scheme) r.k
+    (Query.to_string r.query)

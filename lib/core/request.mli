@@ -1,0 +1,54 @@
+(** The shared request/outcome vocabulary of the query API.
+
+    A {!t} is one unit of online work — (method, query, scheme, k) — and
+    an {!outcome} is everything observable about evaluating it.
+    {!Engine.run_request} is the canonical evaluator; {!Serve},
+    [toposearch] and the benchmarks all speak these types ({!Serve}
+    re-exports them under its historical names). *)
+
+type t = {
+  method_ : Methods.method_;
+  query : Query.t;
+  scheme : Ranking.scheme;
+  k : int;
+}
+
+(** [make ?scheme ?k method_ query] with [scheme] defaulting to [Freq] and
+    [k] to 10. *)
+val make : ?scheme:Ranking.scheme -> ?k:int -> Methods.method_ -> Query.t -> t
+
+type result = {
+  ranked : (int * float option) list;  (** TIDs with scores for top-k methods *)
+  elapsed_s : float;
+  method_ : Methods.method_;
+  strategy : Topo_sql.Optimizer.strategy option;  (** what an -Opt method chose *)
+}
+
+type cache_status =
+  | Hit  (** answered from the result cache, stored counters replayed *)
+  | Miss  (** evaluated; the outcome was inserted into the cache *)
+  | Uncached  (** evaluated with no cache attached (or verification on) *)
+
+val cache_status_name : cache_status -> string
+
+type outcome = {
+  request : t;
+  result : (result, exn) Stdlib.result;
+  counters : Topo_sql.Iterator.Counters.snapshot;
+      (** operator work performed by this query alone; on a cache hit, the
+          stored snapshot of the original evaluation, replayed so cold and
+          warm passes fingerprint identically *)
+  served_by : int;  (** id of the domain that evaluated the query *)
+  trace : Topo_obs.Trace.t option;  (** the query's private span tree, when requested *)
+  cache : cache_status;
+}
+
+(** [key r] is the canonical result-cache key.  Orientation is normalized
+    (the two endpoint renderings are sorted when the entity sets differ —
+    evaluation aligns to the stored pair, so both phrasings answer
+    identically), and scheme/k are omitted for the three non-top-k methods
+    that ignore them. *)
+val key : t -> string
+
+(** [to_string r] for display. *)
+val to_string : t -> string

@@ -6,36 +6,48 @@
    *batch* — one pool task per query, one query per domain at a time.
    Every domain works through a [handle]: the shared, read-only engine
    (catalog, stores, topology registry, interner, data graph — all frozen
-   after the offline build) plus per-domain scratch state.  The scratch
-   state is what keeps concurrent queries honest:
+   after the offline build) plus per-domain scratch state.  Evaluation
+   itself is [Engine.run_request] — the canonical single-query entry
+   point — which isolates each query in a fresh [Iterator.Counters]
+   scope, attaches a private [Trace.t] on demand, and consults the
+   optional shared [Cache.t].
 
-   - a fresh [Iterator.Counters] scope per query (Domain.DLS), so one
-     query's operator work never leaks into another's counts;
-   - a private [Trace.t] sink per query when tracing is requested;
-   - the optimizer memo and iterator state are already function-local.
+   The cache is per engine and shared across the serving domains: lookups
+   are lock-free snapshot reads, inserts serialize on the cache's own
+   mutex, and entries are stamped with the topology-registry generation
+   so online re-registration (the SQL method) can never cause a stale
+   result to be served.  Because a hit replays the stored outcome of a
+   deterministic evaluation — ranked list, strategy, counters — caching
+   does not perturb the determinism contract:
 
-   Determinism contract: [run ~jobs:n] returns outcomes bit-identical to
-   [run ~jobs:1] (and to a plain sequential [Engine.run] loop), in input
-   order — queries only read the frozen stores, the pool merges results
-   by input index, and per-query scratch state is isolated.  A query that
-   raises yields [Error] in its own slot and leaves the rest of the batch
-   untouched. *)
+   [run ~jobs:n] returns outcomes bit-identical to [run ~jobs:1] (and to
+   a plain sequential [Engine.run] loop), in input order, whether the
+   cache is cold, warm, or absent.  A query that raises yields [Error] in
+   its own slot and leaves the rest of the batch untouched; failures are
+   never memoized. *)
 
 module Pool = Topo_util.Pool
 module Counters = Topo_sql.Iterator.Counters
 module Trace = Topo_obs.Trace
 
-type request = { method_ : Engine.method_; query : Query.t; scheme : Ranking.scheme; k : int }
+(* Historical names, now aliases of the shared [Request] vocabulary. *)
+type request = Request.t = {
+  method_ : Engine.method_;
+  query : Query.t;
+  scheme : Ranking.scheme;
+  k : int;
+}
 
-let request ?(scheme = Ranking.Freq) ?(k = 10) method_ query = { method_; query; scheme; k }
-
-type outcome = {
+type outcome = Request.outcome = {
   request : request;
   result : (Engine.result, exn) Stdlib.result;
-  counters : Counters.snapshot;  (* this query's work, isolated *)
-  served_by : int;  (* id of the domain that evaluated the query *)
-  trace : Trace.t option;  (* private span tree, when requested *)
+  counters : Counters.snapshot;
+  served_by : int;
+  trace : Trace.t option;
+  cache : Request.cache_status;
 }
+
+let request = Request.make
 
 type stats = {
   jobs : int;
@@ -44,6 +56,7 @@ type stats = {
   elapsed_s : float;
   throughput_qps : float;
   domains_used : int;
+  cache : Cache.totals option;  (* this batch's cache activity, when caching *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -71,28 +84,27 @@ let handle_for engine =
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
 
-let evaluate ~traces handle req =
+let evaluate ~traces ?cache handle req =
   handle.h_served <- handle.h_served + 1;
-  let trace = if traces then Some (Trace.create ()) else None in
-  let result, counters =
-    Counters.with_scope (fun () ->
-        try
-          Ok
-            (Engine.run handle.h_engine req.query ~method_:req.method_ ~scheme:req.scheme ~k:req.k
-               ?trace ())
-        with e -> Error e)
-  in
-  { request = req; result; counters; served_by = handle.h_domain; trace }
+  Engine.run_request handle.h_engine ?cache ~traces req
 
-let serve_on pool ~traces engine requests =
+let serve_on pool ~traces ?cache engine requests =
   let input = Array.of_list requests in
+  let before = Option.map Cache.totals cache in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Pool.parallel_map pool input ~f:(fun req -> evaluate ~traces (handle_for engine) req) in
+  let outcomes =
+    Pool.parallel_map pool input ~f:(fun req -> evaluate ~traces ?cache (handle_for engine) req)
+  in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let outcomes = Array.to_list outcomes in
   let domains = List.sort_uniq compare (List.map (fun o -> o.served_by) outcomes) in
   let errors = List.length (List.filter (fun o -> Result.is_error o.result) outcomes) in
   let queries = List.length outcomes in
+  let cache_delta =
+    match (cache, before) with
+    | Some c, Some b -> Some (Cache.diff ~before:b ~after:(Cache.totals c))
+    | _ -> None
+  in
   ( outcomes,
     {
       jobs = Pool.jobs pool;
@@ -101,11 +113,12 @@ let serve_on pool ~traces engine requests =
       elapsed_s;
       throughput_qps = (if elapsed_s > 0.0 then float_of_int queries /. elapsed_s else 0.0);
       domains_used = List.length domains;
+      cache = cache_delta;
     } )
 
-let run ?pool ?jobs ?(traces = false) engine requests =
+let run ?pool ?jobs ?(traces = false) ?cache engine requests =
   match pool with
-  | Some pool -> serve_on pool ~traces engine requests
+  | Some pool -> serve_on pool ~traces ?cache engine requests
   | None ->
       (* Never oversubscribe: domains beyond the hardware's recommended
          count only add cross-domain GC synchronization on a serving
@@ -114,7 +127,7 @@ let run ?pool ?jobs ?(traces = false) engine requests =
          This is the only cap — [Pool.default_jobs]'s additional clamp to 8
          applies just when [?jobs] is omitted entirely. *)
       let jobs = Option.map (fun j -> max 1 (min j (Domain.recommended_domain_count ()))) jobs in
-      Pool.with_pool ?jobs (fun pool -> serve_on pool ~traces engine requests)
+      Pool.with_pool ?jobs (fun pool -> serve_on pool ~traces ?cache engine requests)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism fingerprint                                             *)
@@ -122,8 +135,10 @@ let run ?pool ?jobs ?(traces = false) engine requests =
 (* The full observable output of a batch as one string: per query, the
    ranked (TID, score) list, the optimizer's strategy choice, the isolated
    work counters, or the raised exception.  Wall-clock fields are
-   deliberately excluded.  [run ~jobs:n] must fingerprint identically for
-   every n. *)
+   deliberately excluded — and so is the per-outcome cache status: which
+   occurrence of a repeated query populates the cache depends on domain
+   scheduling, but the *values* served do not.  [run ~jobs:n] must
+   fingerprint identically for every n, cold or warm. *)
 let fingerprint outcomes =
   let buf = Buffer.create 4096 in
   List.iteri

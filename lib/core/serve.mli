@@ -6,33 +6,38 @@
     domain at a time.  Domains work through a per-domain {e engine handle}:
     the shared read-only engine state (catalog, stores, topology registry,
     interner, data graph — frozen after the offline build) plus per-domain
-    scratch: a fresh {!Topo_sql.Iterator.Counters} scope per query and a
-    private trace sink when tracing is requested.
+    scratch.  Each query is evaluated by {!Engine.run_request}: a fresh
+    {!Topo_sql.Iterator.Counters} scope, a private trace sink when tracing
+    is requested, and the optional shared {!Cache.t}.
 
     Determinism contract: [run ~jobs:n] returns outcomes bit-identical to
     [run ~jobs:1] — and to a sequential {!Engine.run} loop — in input
-    order.  A query that raises yields [Error] in its own slot; the rest
-    of the batch still completes. *)
+    order, whether the cache is cold, warm, or absent.  A query that
+    raises yields [Error] in its own slot; the rest of the batch still
+    completes, and failures are never memoized. *)
 
-type request = {
+(** The historical request type, now an alias of {!Request.t}. *)
+type request = Request.t = {
   method_ : Engine.method_;
   query : Query.t;
   scheme : Ranking.scheme;
   k : int;
 }
 
-(** [request ?scheme ?k method_ query] with [scheme] defaulting to [Freq]
-    and [k] to 10. *)
+(** [request ?scheme ?k method_ query] is {!Request.make}. *)
 val request : ?scheme:Ranking.scheme -> ?k:int -> Engine.method_ -> Query.t -> request
 
-type outcome = {
+(** The historical outcome type, now an alias of {!Request.outcome}. *)
+type outcome = Request.outcome = {
   request : request;
   result : (Engine.result, exn) Stdlib.result;
   counters : Topo_sql.Iterator.Counters.snapshot;
       (** operator work performed by this query alone — concurrent queries
-          never contribute to each other's counts *)
+          never contribute to each other's counts; on a cache hit, the
+          stored snapshot of the original evaluation *)
   served_by : int;  (** id of the domain that evaluated the query *)
   trace : Topo_obs.Trace.t option;  (** the query's private span tree, when requested *)
+  cache : Request.cache_status;  (** how the result cache participated *)
 }
 
 type stats = {
@@ -42,28 +47,40 @@ type stats = {
   elapsed_s : float;  (** wall time for the whole batch *)
   throughput_qps : float;  (** [queries /. elapsed_s] *)
   domains_used : int;  (** distinct domains that served at least one query *)
+  cache : Cache.totals option;
+      (** cache activity attributable to this batch alone (a before/after
+          {!Cache.diff}); [None] when no cache was attached *)
 }
 
-(** [run ?pool ?jobs ?traces engine requests] evaluates every request and
-    returns outcomes in input order plus batch statistics.  With [?pool]
-    the caller's pool is used (and kept alive — the long-running server
-    pattern); otherwise a fresh pool of [?jobs] domains is created for the
-    batch and shut down afterwards.  [?jobs] is capped at the machine's
-    recommended domain count — oversubscribing a serving workload only
-    adds cross-domain GC synchronization, and results are jobs-invariant
-    anyway; pass [?pool] to force a specific domain count.  [traces]
-    (default false) attaches a private {!Topo_obs.Trace.t} to each
-    query. *)
+(** [run ?pool ?jobs ?traces ?cache engine requests] evaluates every
+    request and returns outcomes in input order plus batch statistics.
+    With [?pool] the caller's pool is used (and kept alive — the
+    long-running server pattern); otherwise a fresh pool of [?jobs]
+    domains is created for the batch and shut down afterwards.  [?jobs]
+    is capped at the machine's recommended domain count —
+    oversubscribing a serving workload only adds cross-domain GC
+    synchronization, and results are jobs-invariant anyway; pass [?pool]
+    to force a specific domain count.  [traces] (default false) attaches
+    a private {!Topo_obs.Trace.t} to each query.  [cache], when given,
+    is shared by all serving domains: hits are lock-free snapshot reads,
+    entries are generation-stamped against the topology registry so
+    online re-registration can never serve a stale result, and
+    [stats.cache] reports this batch's hits/misses/evictions/
+    invalidations. *)
 val run :
   ?pool:Topo_util.Pool.t ->
   ?jobs:int ->
   ?traces:bool ->
+  ?cache:Cache.t ->
   Engine.t ->
   request list ->
   outcome list * stats
 
 (** [fingerprint outcomes] renders the batch's full observable output —
     ranked lists with scores, strategy choices, per-query counters,
-    exceptions — excluding wall-clock fields.  Bit-identical across jobs
-    values; the benchmark and CI gate compare these digests. *)
+    exceptions — excluding wall-clock fields and the per-outcome cache
+    status (which occurrence of a repeated query populates the cache
+    depends on domain scheduling; the values served do not).
+    Bit-identical across jobs values and across cold/warm/no-cache runs;
+    the benchmark and CI gate compare these digests. *)
 val fingerprint : outcome list -> string

@@ -26,10 +26,23 @@ type snapshot = {
   by_tid : t array;  (* index = tid - 1; never mutated once published *)
 }
 
-type registry = { state : snapshot Atomic.t; reg_lock : Mutex.t }
+(* [gen] counts completed mutations (new topology or new decomposition) and
+   is the epoch that the serving tier's caches stamp entries with.  The
+   writer bumps it strictly AFTER publishing the mutated state: a reader
+   that observes generation g is therefore guaranteed that every state read
+   it performs afterwards sees at least the state published by mutation g.
+   The converse window — an evaluation that read the NEW state but stamped
+   the OLD generation — only discards a valid cache entry, which is safe. *)
+type registry = { state : snapshot Atomic.t; reg_lock : Mutex.t; gen : int Atomic.t }
 
 let create_registry () =
-  { state = Atomic.make { by_key = Smap.empty; by_tid = [||] }; reg_lock = Mutex.create () }
+  {
+    state = Atomic.make { by_key = Smap.empty; by_tid = [||] };
+    reg_lock = Mutex.create ();
+    gen = Atomic.make 0;
+  }
+
+let generation reg = Atomic.get reg.gen
 
 let register reg graph ~decomposition =
   let key = Canon.key graph in
@@ -48,8 +61,10 @@ let register reg graph ~decomposition =
           match Smap.find_opt key snap.by_key with
           | Some t ->
               let ds = Atomic.get t.decompositions in
-              if not (List.mem decomposition ds) then
+              if not (List.mem decomposition ds) then begin
                 Atomic.set t.decompositions (ds @ [ decomposition ]);
+                Atomic.incr reg.gen
+              end;
               t
           | None ->
               let t =
@@ -65,6 +80,7 @@ let register reg graph ~decomposition =
               in
               Atomic.set reg.state
                 { by_key = Smap.add key t snap.by_key; by_tid = Array.append snap.by_tid [| t |] };
+              Atomic.incr reg.gen;
               t)
 
 (* Merge a shard-local registry into [into]: every topology of [src] is

@@ -34,6 +34,17 @@ type registry
 (** [create_registry ()] is empty; TIDs are assigned densely from 1. *)
 val create_registry : unit -> registry
 
+(** [generation registry] counts completed mutations — new topologies and
+    new decompositions — and is bumped strictly {e after} the mutated state
+    is published.  The serving tier's caches stamp entries with the
+    generation observed before evaluating and treat any entry whose stamp
+    differs from the current generation as a miss: a reader that observes
+    generation [g] is guaranteed to see at least the state of mutation [g],
+    so a matching stamp proves the cached value was computed against the
+    current topology set.  Lock-free registrations that add nothing (the
+    steady-state online path) do not bump it. *)
+val generation : registry -> int
+
 (** [register registry graph ~decomposition] interns the graph's class and
     returns its topology, allocating a fresh TID on first sight; later
     registrations with a new decomposition extend [decompositions]. *)
