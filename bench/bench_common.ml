@@ -12,6 +12,7 @@ module Query = Topo_core.Query
 module Ranking = Topo_core.Ranking
 module Store = Topo_core.Store
 module Pretty = Topo_util.Pretty
+module Console = Topo_util.Console
 
 type config = {
   mutable scale : float;

@@ -38,7 +38,7 @@ let threshold_sweep () =
         ])
       [ 5; 20; 50; 200; 1000; max_int ]
   in
-  Pretty.print
+  Console.print
     ~header:[ "threshold"; "pruned"; "Left+Excp"; "space ratio"; "Fast-Top ms"; "Fast-Top-k ms" ]
     rows;
   print_endline "(threshold = max_int disables pruning: Fast-Top degenerates to Full-Top)"
@@ -68,7 +68,7 @@ let caps_sweep () =
         ])
       [ 1; 2; 4; 8; 16 ]
   in
-  Pretty.print ~header:[ "max reps/class"; "topologies"; "capped pairs"; "build s" ] rows;
+  Console.print ~header:[ "max reps/class"; "topologies"; "capped pairs"; "build s" ] rows;
   print_endline "(the default of 8 observes the same topology set as 16 => caps are not binding)"
 
 let dgj_grid () =
@@ -95,11 +95,11 @@ let dgj_grid () =
           [ `I; `H ])
       [ `I; `H ]
   in
-  Pretty.print ~header:[ "impls (fact,dim1,dim2)"; "ms" ] rows;
+  Console.print ~header:[ "impls (fact,dim1,dim2)"; "ms" ] rows;
   print_endline "(HDGJ at the fact level re-scans LeftTops per topology: the paper's 'worst plan')"
 
 let run () =
-  Topo_util.Pretty.section "Ablations — pruning threshold, representative caps, DGJ choice";
+  Topo_util.Console.section "Ablations — pruning threshold, representative caps, DGJ choice";
   threshold_sweep ();
   caps_sweep ();
   dgj_grid ()

@@ -10,7 +10,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Baseline — isolated path results vs topology results (Section 1)";
+  Topo_util.Console.section "Baseline — isolated path results vs topology results (Section 1)";
   (* Figure 4 on the paper database. *)
   let cat = Biozon.Paper_db.catalog () in
   let engine = Engine.build cat ~pairs:[ ("Protein", "DNA") ] ~pruning_threshold:50 () in
@@ -48,7 +48,7 @@ let run () =
           selectivities)
       selectivities
   in
-  Pretty.print
+  Console.print
     ~header:[ "protein/interaction"; "isolated results"; "topologies"; "reduction" ]
     rows;
   print_endline "\n(paper: ~250,000 isolated results vs a page of topologies for the example query)"

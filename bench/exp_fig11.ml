@@ -12,7 +12,7 @@ open Bench_common
 let pairs_for_fig11 = [ ("Protein", "DNA"); ("DNA", "Unigene"); ("Protein", "Interaction"); ("Protein", "Unigene") ]
 
 let run () =
-  Topo_util.Pretty.section "Figure 11 — distribution of topology frequency (rank vs freq)";
+  Topo_util.Console.section "Figure 11 — distribution of topology frequency (rank vs freq)";
   let engine, build_s = engine_l3 () in
   Printf.printf "offline build (AllTops for 5 pairs, l=3): %.1fs\n\n" build_s;
   let show_ranks = 16 in
@@ -34,7 +34,7 @@ let run () =
         :: cells)
       pairs_for_fig11
   in
-  Pretty.print ~header rows;
+  Console.print ~header rows;
   print_newline ();
   print_endline "shape check (paper: 'approximately Zipfian for all entity set pairs'):";
   List.iter

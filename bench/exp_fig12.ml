@@ -10,7 +10,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Figure 12 — top-10 most frequent 3-topologies, Protein-DNA";
+  Topo_util.Console.section "Figure 12 — top-10 most frequent 3-topologies, Protein-DNA";
   let engine, _ = engine_l3 () in
   let store = Engine.store engine ~t1:"Protein" ~t2:"DNA" in
   let top = Topo_core.Analysis.top_frequent store ~n:10 in
@@ -29,7 +29,7 @@ let run () =
         ])
       top
   in
-  Pretty.print ~header:[ "rank"; "TID"; "freq"; "nodes"; "edges"; "shape"; "structure" ] rows;
+  Console.print ~header:[ "rank"; "TID"; "freq"; "nodes"; "edges"; "shape"; "structure" ] rows;
   let frac = Topo_core.Analysis.simple_fraction engine.Engine.ctx.Topo_core.Context.registry store ~n:10 in
   Printf.printf "\nsimple-path fraction of top-10: %.0f%% (paper: 'most no more complicated than a path')\n"
     (100.0 *. frac)

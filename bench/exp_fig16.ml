@@ -28,7 +28,7 @@ let motif_graph interner =
   g
 
 let run () =
-  Topo_util.Pretty.section "Figure 16 — the biologically significant topology";
+  Topo_util.Console.section "Figure 16 — the biologically significant topology";
   let engine, _ = engine_l3 () in
   let ctx = engine.Engine.ctx in
   let interner = ctx.Topo_core.Context.interner in

@@ -14,7 +14,7 @@ open Bench_common
 module Sg = Topo_graph.Schema_graph
 
 let run () =
-  Topo_util.Pretty.section "Figure 17 / weak relationships at l = 4";
+  Topo_util.Console.section "Figure 17 / weak relationships at l = 4";
   let engine, build_s = engine_l4 () in
   let ctx = engine.Engine.ctx in
   (* Per-class instance counts for Protein-DNA at l = 4. *)

@@ -10,7 +10,7 @@
    gluings induce, plus a rendering of every possible 2-topology. *)
 
 let run () =
-  Topo_util.Pretty.section "Figure 8 / Section 3.1 — possible topologies between Protein and DNA";
+  Topo_util.Console.section "Figure 8 / Section 3.1 — possible topologies between Protein and DNA";
   let schema = Biozon.Bschema.schema_graph () in
   let paths = Topo_graph.Schema_graph.paths schema ~from_:"Protein" ~to_:"DNA" ~max_len:3 in
   Printf.printf "schema paths of length <= 3 (paper: 10): %d\n" (List.length paths);

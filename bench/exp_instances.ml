@@ -9,7 +9,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Instance retrieval (Section 6.2.4)";
+  Topo_util.Console.section "Instance retrieval (Section 6.2.4)";
   let engine, _ = engine_l3 () in
   let ctx = engine.Engine.ctx in
   let store = Engine.store engine ~t1:"Protein" ~t2:"DNA" in
@@ -44,7 +44,7 @@ let run () =
         ])
       picks
   in
-  Pretty.print
+  Console.print
     ~header:[ "topology"; "TID"; "freq"; "pairs"; "witnesses(<=50)"; "ms" ]
     rows;
   print_endline "\n(paper: 1-50s on Biozon depending on topology frequency; same monotone shape)"

@@ -96,7 +96,7 @@ let tests () =
   ]
 
 let run () =
-  Topo_util.Pretty.section "Bechamel micro-benchmarks (ns/run, OLS estimate)";
+  Topo_util.Console.section "Bechamel micro-benchmarks (ns/run, OLS estimate)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"micro" (tests ())) in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -111,4 +111,4 @@ let run () =
       in
       rows := [ name; estimate ] :: !rows)
     results;
-  Topo_util.Pretty.print ~header:[ "kernel"; "ns/run" ] (List.sort compare !rows)
+  Topo_util.Console.print ~header:[ "kernel"; "ns/run" ] (List.sort compare !rows)

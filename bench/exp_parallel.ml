@@ -68,7 +68,7 @@ let build_with ~jobs =
   (engine, Unix.gettimeofday () -. t0)
 
 let run () =
-  Pretty.section "Parallel — offline build across OCaml 5 domains";
+  Console.section "Parallel — offline build across OCaml 5 domains";
   let runs = max 1 config.runs in
   Printf.printf "pairs %s, l=3, %d run(s) per jobs value, recommended domains: %d\n\n"
     (String.concat ", " (List.map (fun (a, b) -> a ^ "-" ^ b) pairs))

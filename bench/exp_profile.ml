@@ -16,7 +16,7 @@ let sql4 =
    ORDER BY SCORE DESC FETCH FIRST 10 ROWS ONLY"
 
 let run () =
-  Topo_util.Pretty.section "Profile — per-operator instrumentation, Fig. 12 top-k query";
+  Topo_util.Console.section "Profile — per-operator instrumentation, Fig. 12 top-k query";
   let engine, _ = engine_l3 () in
   let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
   let plan = Topo_sql.Sql.to_plan catalog sql4 in

@@ -56,7 +56,7 @@ let median times =
   a.(Array.length a / 2)
 
 let run () =
-  Pretty.section "Serve — concurrent online queries across OCaml 5 domains";
+  Console.section "Serve — concurrent online queries across OCaml 5 domains";
   let engine, _ = engine_l3 () in
   let base = mixed_workload engine in
   let requests = List.concat (List.init batch_repeat (fun _ -> base)) in
@@ -104,7 +104,7 @@ let run () =
      Both must fingerprint bit-identically to the uncached sweep above —
      the cache may only change speed, never answers.  Intra-batch repeats
      (batch_repeat > 1) give even the cold pass some hits. *)
-  Pretty.section "Serve — result cache, warm vs cold";
+  Console.section "Serve — result cache, warm vs cold";
   let tier_rate (s : Serve.stats) =
     match s.Serve.cache with
     | Some c -> Topo_core.Cache.hit_rate c.Topo_core.Cache.results

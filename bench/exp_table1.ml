@@ -9,7 +9,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Table 1 — space requirement (Full-Top vs Fast-Top)";
+  Topo_util.Console.section "Table 1 — space requirement (Full-Top vs Fast-Top)";
   let engine, _ = engine_l3 () in
   let cat = engine.Engine.ctx.Topo_core.Context.catalog in
   let rows =
@@ -32,7 +32,7 @@ let run () =
         ])
       main_pairs
   in
-  Pretty.print
+  Console.print
     ~header:[ "object"; "object"; "AllTops"; "LeftTops"; "ExcpTops"; "(Left+Excp)/All"; "pruned" ]
     rows;
   let store = Engine.store engine ~t1:"Protein" ~t2:"DNA" in

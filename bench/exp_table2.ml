@@ -26,7 +26,7 @@ let topk_methods =
   ]
 
 let run () =
-  Topo_util.Pretty.section
+  Topo_util.Console.section
     "Table 2 — performance of the nine strategies (ms), Protein-Interaction, top-10";
   let engine, _ = engine_l3 () in
   let cat = engine.Engine.ctx.Topo_core.Context.catalog in
@@ -90,7 +90,7 @@ let run () =
                  selectivities)
           topk_methods
       in
-      Pretty.print ~header (non_topk @ topk))
+      Console.print ~header (non_topk @ topk))
     selectivities;
   (* Optimizer choices, reported once for the diagonal. *)
   Printf.printf "\noptimizer decisions (Fast-Top-k-Opt), diagonal cells:\n";

@@ -9,7 +9,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Table 3 — 4-topology data: space overhead and Fast-Top-k-Opt (ms)";
+  Topo_util.Console.section "Table 3 — 4-topology data: space overhead and Fast-Top-k-Opt (ms)";
   let engine, build_s = engine_l4 () in
   let cat = engine.Engine.ctx.Topo_core.Context.catalog in
   Printf.printf "l=4 offline build at %.2fx scale: %.1fs (paper: more than a day on full Biozon)\n\n"
@@ -35,12 +35,12 @@ let run () =
              selectivities)
       selectivities
   in
-  Pretty.print ~header rows;
+  Console.print ~header rows;
   (* Space overhead column. *)
   Printf.printf "\nspace overhead (Protein-Interaction, l=4):\n";
   let store = Engine.store engine ~t1:"Protein" ~t2:"Interaction" in
   let alltops, lefttops, excptops = Store.space store cat in
-  Pretty.kv
+  Console.kv
     [
       ("AllTops", Pretty.bytes_cell alltops);
       ("LeftTops", Pretty.bytes_cell lefttops);

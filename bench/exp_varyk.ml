@@ -11,7 +11,7 @@ open Bench_common
 let ks = [ 1; 5; 10; 20; 50 ]
 
 let run () =
-  Topo_util.Pretty.section "Vary k (Section 6.2.4) — Fast-Top-k-Opt / Fast-Top-k-ET (ms)";
+  Topo_util.Console.section "Vary k (Section 6.2.4) — Fast-Top-k-Opt / Fast-Top-k-ET (ms)";
   let engine, _ = engine_l3 () in
   let cat = engine.Engine.ctx.Topo_core.Context.catalog in
   let q = grid_query cat ~protein_sel:`Medium ~interaction_sel:`Medium in
@@ -26,4 +26,4 @@ let run () =
           Ranking.all)
       [ Engine.Fast_top_k_opt; Engine.Fast_top_k_et ]
   in
-  Pretty.print ~header rows
+  Console.print ~header rows

@@ -9,7 +9,7 @@
 open Bench_common
 
 let run () =
-  Topo_util.Pretty.section "Vary l — path-length limit, Protein-DNA";
+  Topo_util.Console.section "Vary l — path-length limit, Protein-DNA";
   let make_cat () =
     Biozon.Generator.generate
       (Biozon.Generator.scale (config.scale *. 0.5)
@@ -44,7 +44,7 @@ let run () =
         ])
       [ 1; 2; 3; 4 ]
   in
-  Pretty.print
+  Console.print
     ~header:[ "l"; "schema paths"; "instance paths"; "topologies"; "build s"; "AllTops"; "Fast-Top-k-Opt ms" ]
     rows;
   print_endline

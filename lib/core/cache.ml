@@ -183,7 +183,17 @@ let find_result t ~key = tier_find t.result_tier ~gen:(stamp t) key
 
 let add_result t ~key ~stamp:s payload = tier_add t.result_tier ~stamp:s key payload
 
-let find_plan t ~key = tier_find t.plan_tier ~gen:(stamp t) key
+(* When [check] carries the catalog, a [Regular_plan] hit is re-verified
+   before being served: verification mode must hold for memoized plans
+   exactly as for freshly priced ones, and a corrupted entry should fail
+   loudly ([Plan_check.Plan_error]) rather than execute.  [Choice] hits
+   carry no plan to verify and pass through. *)
+let find_plan ?check t ~key =
+  let hit = tier_find t.plan_tier ~gen:(stamp t) key in
+  (match (hit, check) with
+  | Some (Regular_plan (plan, _)), Some catalog -> Topo_sql.Plan_check.check catalog plan
+  | (Some (Choice _) | Some (Regular_plan _) | None), _ -> ());
+  hit
 
 let add_plan t ~key ~stamp:s plan = tier_add t.plan_tier ~stamp:s key plan
 

@@ -71,7 +71,14 @@ type plan =
   | Choice of Topo_sql.Optimizer.strategy
       (** {!Topo_sql.Optimizer.choose}'s regular-vs-early-termination pick *)
 
-val find_plan : t -> key:string -> plan option
+(** [find_plan ?check t ~key] is a lock-free lookup like {!find_result}.
+    When [check] is given, a [Regular_plan] hit is re-run through
+    {!Topo_sql.Plan_check.check} against that catalog before being
+    served, so verification mode applies to memoized plans exactly as to
+    freshly priced ones; a corrupted or stale entry raises
+    {!Topo_sql.Plan_check.Plan_error} instead of executing.  [Choice]
+    entries carry no plan and are never checked. *)
+val find_plan : ?check:Topo_sql.Catalog.t -> t -> key:string -> plan option
 
 val add_plan : t -> key:string -> stamp:int -> plan -> unit
 

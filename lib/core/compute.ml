@@ -285,5 +285,10 @@ let pair_topologies dg schema registry ~t1 ~t2 ~a ~b ~l ~caps =
   else begin
     let pd = { pd_a = a; pd_b = b; pd_classes = Dyn.map (fun (key, d) -> (key, Dyn.to_array d)) classes } in
     let pr = unions_of_pair dg caps pd in
-    match commit registry [| pr |] with [ row ] -> row | _ -> assert false
+    match commit registry [| pr |] with
+    | [ row ] -> row
+    | rows ->
+        failwith
+          (Printf.sprintf "Compute.pair_topologies: commit of one proto yielded %d rows"
+             (List.length rows))
   end

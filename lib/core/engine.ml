@@ -97,7 +97,11 @@ let build catalog ~pairs ?(l = 3) ?(caps = Compute.default_caps) ?(pruning_thres
                 incr cursor)
               pds)
           pendings;
-        Array.map (Array.map (function Some pr -> pr | None -> assert false)) out
+        Array.map
+          (Array.map (function
+            | Some pr -> pr
+            | None -> failwith "Engine.build: proto cursor misaligned with pending pairs"))
+          out
       in
       (* Phase C: commit + store build, coordinator only, declared order. *)
       let build_stats =
@@ -182,9 +186,12 @@ let run t query ~method_ ?scheme ?k ?impls ?(verify_plans = false) ?cache ?trace
 
 let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Request.t) =
   let trace = if traces then Some (Topo_obs.Trace.create ()) else None in
-  (* Verification mode re-checks every plan the evaluation builds; a cache
-     hit would silently skip that, so caching is bypassed entirely. *)
-  let cache = if verify_plans then None else cache in
+  (* Verification mode re-checks every plan the evaluation builds.  A
+     result-tier hit would skip evaluation — and with it every check —
+     so that tier is bypassed; the plan tier stays live because checked
+     lookups re-verify memoized plans before serving them
+     (Cache.find_plan ?check via Methods.regular_plan_cached). *)
+  let result_cache = if verify_plans then None else cache in
   let outcome result counters status =
     {
       Request.request = req;
@@ -199,9 +206,9 @@ let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Reques
     Counters.with_scope (fun () ->
         try Ok (eval t req ~verify_plans ?cache ?trace ()) with e -> Error e)
   in
-  match cache with
+  match result_cache with
   | None ->
-      let result, counters = evaluate () in
+      let result, counters = evaluate ?cache () in
       outcome result counters Request.Uncached
   | Some c -> (
       let key = Request.key req in

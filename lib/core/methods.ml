@@ -349,22 +349,28 @@ let fast_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) 
   in
   sp ?trace "merge_with_pruned" (fun () -> merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next)
 
-(* Plan-tier memoization of the optimizer's pricing searches.  Only the
-   unchecked path is cached: [~check:true] exists to re-verify every
-   candidate the pricer visits, which a cache hit would silently skip. *)
+(* Plan-tier memoization of the optimizer's pricing searches.  The tier
+   stays active under [~check:true]: a [Regular_plan] hit is re-run
+   through Plan_check against the live catalog before it is served (see
+   Cache.find_plan), so verification covers memoized plans too and a
+   corrupted entry fails loudly instead of silently executing. *)
 let regular_plan_cached ?cache ~check ctx spec =
   match cache with
-  | Some c when not check -> (
+  | Some c -> (
       let key = Cache.plan_key ~tag:"regular" spec in
-      match Cache.find_plan c ~key with
+      let chk = if check then Some ctx.Context.catalog else None in
+      match Cache.find_plan ?check:chk c ~key with
       | Some (Cache.Regular_plan (plan, cost)) -> (plan, cost)
       | Some (Cache.Choice _) | None ->
           let stamp = Cache.stamp c in
           let plan, cost = Optimizer.regular_plan ~check ctx.Context.catalog spec in
           Cache.add_plan c ~key ~stamp (Cache.Regular_plan (plan, cost));
           (plan, cost))
-  | Some _ | None -> Optimizer.regular_plan ~check ctx.Context.catalog spec
+  | None -> Optimizer.regular_plan ~check ctx.Context.catalog spec
 
+(* A [Choice] entry records only the regular-vs-ET pick — there is no
+   plan to re-verify — so checked runs bypass the tier and re-price,
+   re-verifying every candidate the pricer visits. *)
 let choose_cached ?cache ~check ctx spec =
   match cache with
   | Some c when not check -> (

@@ -130,7 +130,7 @@ let rec canonical_serialization dense colors =
       colors;
     match !best with
     | Some result -> result
-    | None -> assert false
+    | None -> failwith "Canon.canonical_serialization: target color class vanished during refinement"
   end
 
 let key_and_order g =

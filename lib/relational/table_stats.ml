@@ -8,21 +8,18 @@ type t = {
 let sample_size = 512
 
 let compute table =
-  let n = Table.row_count table in
+  let rows = Table.rows table in
+  let n = Array.length rows in
   let arity = Schema.arity (Table.schema table) in
-  let columns = Array.init arity (fun _ -> Topo_util.Dyn.create ()) in
-  let width_sum = ref 0 in
-  Table.iter
-    (fun _ tuple ->
-      width_sum := !width_sum + Tuple.width tuple;
-      Array.iteri (fun c dyn -> Topo_util.Dyn.push dyn tuple.(c)) columns)
-    table;
-  let histograms = Array.map (fun dyn -> Histogram.build (Topo_util.Dyn.to_array dyn)) columns in
+  (* Column-major view over the row snapshot: every derived array is
+     local to this call, so stats building needs no shared mutation. *)
+  let columns = Array.init arity (fun c -> Array.map (fun tuple -> tuple.(c)) rows) in
+  let width_sum = Array.fold_left (fun acc tuple -> acc + Tuple.width tuple) 0 rows in
+  let histograms = Array.map Histogram.build columns in
   let samples =
     Array.map
-      (fun dyn ->
-        let all = Topo_util.Dyn.to_array dyn in
-        if Array.length all <= sample_size then all
+      (fun all ->
+        if Array.length all <= sample_size then Array.copy all
         else
           (* Deterministic systematic sample: every (n/size)-th row. *)
           let step = Array.length all / sample_size in
@@ -33,7 +30,7 @@ let compute table =
     row_count = n;
     histograms;
     samples;
-    avg_width = (if n = 0 then 0.0 else float_of_int !width_sum /. float_of_int n);
+    avg_width = (if n = 0 then 0.0 else float_of_int width_sum /. float_of_int n);
   }
 
 let row_count t = t.row_count

@@ -1,0 +1,14 @@
+(* stdout presentation for the bench and CLI executables.  Split out of
+   Pretty so the hot-path modules (Sql uses Pretty.render for EXPLAIN
+   text) never link stdout printing — topolint's hot-path rule checks
+   exactly that. *)
+
+let print ~header ?aligns rows = print_string (Pretty.render ~header ?aligns rows)
+
+let section title =
+  let rule = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" rule title rule
+
+let kv pairs =
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "%-*s: %s\n" width k v) pairs

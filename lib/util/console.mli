@@ -1,0 +1,16 @@
+(** stdout rendering for the bench and CLI executables.
+
+    These wrappers live apart from {!Pretty} (which is pure and linked
+    into the query engine for EXPLAIN rendering) so that no module on
+    the engine's hot path prints to stdout. *)
+
+(** [print ~header ?aligns rows] renders a {!Pretty} table and writes it
+    to stdout with a trailing newline. *)
+val print : header:string list -> ?aligns:Pretty.align list -> string list list -> unit
+
+(** [section title] prints a banner used to separate experiments in the
+    bench output. *)
+val section : string -> unit
+
+(** [kv pairs] prints aligned ["key: value"] lines. *)
+val kv : (string * string) list -> unit

@@ -1,8 +1,16 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+(* Growable array.  Elements live in [slot]s so that unused capacity and
+   popped cells hold [Empty] rather than an unsafely-typed filler: the
+   representation costs one indirection per element but keeps the module
+   free of [Obj.magic], and [Empty] slots drop element references for
+   the GC the moment they leave the live prefix. *)
+
+type 'a slot = Empty | Elem of 'a
+
+type 'a t = { mutable data : 'a slot array; mutable len : int }
 
 let create () = { data = [||]; len = 0 }
 
-let with_capacity n = { data = (if n <= 0 then [||] else Array.make n (Obj.magic 0)); len = 0 }
+let with_capacity n = { data = (if n <= 0 then [||] else Array.make n Empty); len = 0 }
 
 let length t = t.len
 
@@ -11,78 +19,85 @@ let is_empty t = t.len = 0
 let check t i name =
   if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Dyn.%s: index %d out of bounds [0,%d)" name i t.len)
 
+(* Only reachable on [data]/[len] corruption: every caller checks bounds
+   first, and slots below [len] are always [Elem]. *)
+let unslot name = function
+  | Elem v -> v
+  | Empty -> failwith (Printf.sprintf "Dyn.%s: empty slot inside the live prefix" name)
+
 let get t i =
   check t i "get";
-  t.data.(i)
+  unslot "get" t.data.(i)
 
 let set t i v =
   check t i "set";
-  t.data.(i) <- v
+  t.data.(i) <- Elem v
 
 let grow t =
   let cap = Array.length t.data in
   let ncap = if cap = 0 then 8 else cap * 2 in
-  let ndata = Array.make ncap (Obj.magic 0) in
+  let ndata = Array.make ncap Empty in
   Array.blit t.data 0 ndata 0 t.len;
   t.data <- ndata
 
 let push t v =
   if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- v;
+  t.data.(t.len) <- Elem v;
   t.len <- t.len + 1
 
 let pop t =
   if t.len = 0 then invalid_arg "Dyn.pop: empty";
   t.len <- t.len - 1;
-  let v = t.data.(t.len) in
-  t.data.(t.len) <- Obj.magic 0;
+  let v = unslot "pop" t.data.(t.len) in
+  t.data.(t.len) <- Empty;
   v
 
 let last t =
   if t.len = 0 then invalid_arg "Dyn.last: empty";
-  t.data.(t.len - 1)
+  unslot "last" t.data.(t.len - 1)
 
 let clear t =
   (* Drop references so the GC can reclaim elements. *)
-  Array.fill t.data 0 t.len (Obj.magic 0);
+  Array.fill t.data 0 t.len Empty;
   t.len <- 0
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    f t.data.(i)
+    f (unslot "iter" t.data.(i))
   done
 
 let iteri f t =
   for i = 0 to t.len - 1 do
-    f i t.data.(i)
+    f i (unslot "iteri" t.data.(i))
   done
 
 let fold f acc t =
   let acc = ref acc in
   for i = 0 to t.len - 1 do
-    acc := f !acc t.data.(i)
+    acc := f !acc (unslot "fold" t.data.(i))
   done;
   !acc
 
 let exists p t =
-  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  let rec loop i = i < t.len && (p (unslot "exists" t.data.(i)) || loop (i + 1)) in
   loop 0
 
 let find_opt p t =
   let rec loop i =
     if i >= t.len then None
-    else if p t.data.(i) then Some t.data.(i)
-    else loop (i + 1)
+    else
+      let v = unslot "find_opt" t.data.(i) in
+      if p v then Some v else loop (i + 1)
   in
   loop 0
 
-let to_array t = Array.sub t.data 0 t.len
+let to_array t = Array.init t.len (fun i -> unslot "to_array" t.data.(i))
 
 let to_list t =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (unslot "to_list" t.data.(i) :: acc) in
   loop (t.len - 1) []
 
-let of_array a = { data = Array.copy a; len = Array.length a }
+let of_array a = { data = Array.map (fun v -> Elem v) a; len = Array.length a }
 
 let of_list l = of_array (Array.of_list l)
 
@@ -99,4 +114,6 @@ let filter p t =
 let sort cmp t =
   let a = to_array t in
   Array.sort cmp a;
-  Array.blit a 0 t.data 0 t.len
+  for i = 0 to t.len - 1 do
+    t.data.(i) <- Elem a.(i)
+  done

@@ -159,7 +159,11 @@ let parallel_map ?(chunk = 1) pool input ~f =
     (match b.failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    Array.map
+      (function
+        | Some v -> v
+        | None -> failwith "Pool.parallel_map: task result missing after batch completion")
+      results
   end
 
 let parallel_fold ?chunk pool input ~f ~init ~merge =

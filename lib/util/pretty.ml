@@ -49,16 +49,6 @@ let render ~header ?aligns rows =
   List.iter emit_row rows;
   Buffer.contents buf
 
-let print ~header ?aligns rows = print_string (render ~header ?aligns rows)
-
-let section title =
-  let rule = String.make (String.length title + 8) '=' in
-  Printf.printf "\n%s\n==  %s  ==\n%s\n" rule title rule
-
-let kv pairs =
-  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
-  List.iter (fun (k, v) -> Printf.printf "%s: %s\n" (pad Left width k) v) pairs
-
 let float_cell ?(decimals = 3) f = Printf.sprintf "%.*f" decimals f
 
 let bytes_cell n =

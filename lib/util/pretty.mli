@@ -12,16 +12,8 @@ type align = Left | Right
     alignment is [Left] for every column. *)
 val render : header:string list -> ?aligns:align list -> string list list -> string
 
-(** [print ~header ?aligns rows] renders and writes to stdout with a trailing
-    newline. *)
-val print : header:string list -> ?aligns:align list -> string list list -> unit
 
-(** [section title] prints a banner used to separate experiments in the bench
-    output. *)
-val section : string -> unit
 
-(** [kv pairs] prints aligned ["key: value"] lines. *)
-val kv : (string * string) list -> unit
 
 (** [float_cell ?decimals f] formats a float for a table cell (default 3
     decimals). *)

@@ -26,4 +26,4 @@ let repeat_median ~runs f =
   in
   match !result with
   | Some v -> (v, median)
-  | None -> assert false
+  | None -> failwith "Timer.repeat_median: no run recorded despite positive run count"

@@ -172,6 +172,48 @@ let test_failures_not_memoized () =
     [ "first"; "second" ];
   Alcotest.(check int) "no result entry inserted" 0 (Cache.result_stats cache).Cache.insertions
 
+(* A checked lookup re-verifies the memoized plan against the live
+   catalog: a corrupted (or staled-by-schema-drift) cached plan must
+   raise Plan_error rather than execute, while unchecked lookups still
+   serve the entry verbatim. *)
+let test_checked_plan_hit_catches_corruption () =
+  let engine = Lazy.force paper_engine in
+  let catalog = engine.Engine.ctx.Context.catalog in
+  let cache = Cache.create (Topology.create_registry ()) in
+  let bogus =
+    Topo_sql.Physical.Scan { table = "no_such_table"; alias = None; pred = None }
+  in
+  Cache.add_plan cache ~key:"corrupt" ~stamp:(Cache.stamp cache)
+    (Cache.Regular_plan (bogus, 1.0));
+  Alcotest.(check bool) "unchecked lookup serves the entry" true
+    (Cache.find_plan cache ~key:"corrupt" <> None);
+  (match Cache.find_plan ~check:catalog cache ~key:"corrupt" with
+  | exception Topo_sql.Plan_check.Plan_error _ -> ()
+  | exception e -> raise e
+  | _ -> Alcotest.fail "checked lookup served a corrupted plan without Plan_error");
+  (* a Choice entry has no plan to verify and passes a checked lookup *)
+  Cache.add_plan cache ~key:"choice" ~stamp:(Cache.stamp cache)
+    (Cache.Choice Topo_sql.Optimizer.Early_termination);
+  Alcotest.(check bool) "checked lookup passes a Choice entry" true
+    (Cache.find_plan ~check:catalog cache ~key:"choice" <> None)
+
+(* verify_plans keeps the plan tier live: the second checked run serves
+   the memoized (and re-verified) plan instead of re-pricing. *)
+let test_checked_runs_use_plan_tier () =
+  let engine = Lazy.force paper_engine in
+  let cache = Engine.cache engine in
+  let req = Request.make Engine.Full_top_k (Query.q1 engine.Engine.ctx.Context.catalog) in
+  let before = Cache.plan_stats cache in
+  let first = Engine.run_request engine ~cache ~verify_plans:true req in
+  Alcotest.(check bool) "first checked run succeeds" true (Result.is_ok first.Request.result);
+  let mid = Cache.plan_stats cache in
+  Alcotest.(check bool) "checked run consults the plan tier" true
+    (mid.Cache.hits + mid.Cache.misses > before.Cache.hits + before.Cache.misses);
+  let second = Engine.run_request engine ~cache ~verify_plans:true req in
+  Alcotest.(check bool) "second checked run succeeds" true (Result.is_ok second.Request.result);
+  Alcotest.(check bool) "second checked run hits the memoized plan" true
+    ((Cache.plan_stats cache).Cache.hits > mid.Cache.hits)
+
 let test_verify_plans_bypasses_cache () =
   let engine = Lazy.force paper_engine in
   let cache = Engine.cache engine in
@@ -268,7 +310,11 @@ let suites =
         Alcotest.test_case "mid-batch re-registration serves no stale result" `Quick
           test_no_stale_result_served_after_reregistration;
         Alcotest.test_case "failures are not memoized" `Quick test_failures_not_memoized;
-        Alcotest.test_case "verify_plans bypasses the cache" `Quick
+        Alcotest.test_case "checked plan-tier hit catches corruption" `Quick
+          test_checked_plan_hit_catches_corruption;
+        Alcotest.test_case "checked runs keep the plan tier live" `Quick
+          test_checked_runs_use_plan_tier;
+        Alcotest.test_case "verify_plans bypasses the result tier" `Quick
           test_verify_plans_bypasses_cache;
       ] );
     ( "cache.equality",
