@@ -9,14 +9,18 @@
    per second and speedup to BENCH_SERVE.json.
 
    As with the parallel-build sweep, the speedup column only means
-   something on multi-core machines; the determinism assertion is the part
-   that must hold everywhere. *)
+   something on multi-core machines; on single-core runners the sweep is
+   clamped to the recommended domain count (jobs=1 always stays) and the
+   JSON records [clamped: true] so the regression gate skips throughput
+   thresholds.  The determinism assertion is the part that must hold
+   everywhere. *)
 
 open Bench_common
 module Obs = Topo_obs
 module Serve = Topo_core.Serve
 
-let jobs_sweep = [ 1; 2; 4; 8 ]
+let jobs_sweep () =
+  List.filter (fun j -> j = 1 || j <= Domain.recommended_domain_count ()) [ 1; 2; 4; 8 ]
 
 (* How many times the base mixed batch is repeated per serve call: enough
    work that pool startup and scheduling noise do not dominate. *)
@@ -61,11 +65,14 @@ let run () =
   let base = mixed_workload engine in
   let requests = List.concat (List.init batch_repeat (fun _ -> base)) in
   let runs = max 1 config.runs in
+  let sweep = jobs_sweep () in
+  let clamped = List.length sweep < 4 in
   Printf.printf
     "%d-query mixed batch (all nine methods x schemes x selectivities, x%d), %d run(s) per jobs \
-     value, recommended domains: %d\n\n"
+     value, recommended domains: %d%s\n\n"
     (List.length requests) batch_repeat runs
-    (Domain.recommended_domain_count ());
+    (Domain.recommended_domain_count ())
+    (if clamped then " (sweep clamped)" else "");
   let results =
     List.map
       (fun jobs ->
@@ -81,17 +88,22 @@ let run () =
         let med = median (List.map (fun (_, s) -> s.Serve.elapsed_s) samples) in
         let errors = (snd (List.hd samples)).Serve.errors in
         (jobs, fp, med, errors))
-      jobs_sweep
+      sweep
   in
   let base_fp, base_t =
     match results with (1, fp, t, _) :: _ -> (fp, t) | _ -> assert false
   in
   let identical = List.for_all (fun (_, fp, _, _) -> fp = base_fp) results in
-  let qps t = float_of_int (List.length requests) /. t in
+  (* Below clock resolution there is no measurable throughput: print a
+     dash and write JSON null, never a division by zero. *)
+  let qps t = if t > 0.0 then Some (float_of_int (List.length requests) /. t) else None in
   Printf.printf "%-6s %-10s %-10s %-8s %s\n" "jobs" "median_s" "qps" "speedup" "fingerprint";
   List.iter
     (fun (jobs, fp, t, _) ->
-      Printf.printf "%-6d %-10.3f %-10.1f %-8.2f %s%s\n" jobs t (qps t) (base_t /. t) fp
+      Printf.printf "%-6d %-10.3f %-10s %-8s %s%s\n" jobs t
+        (match qps t with Some q -> Printf.sprintf "%.1f" q | None -> "-")
+        (if t > 0.0 then Printf.sprintf "%.2f" (base_t /. t) else "-")
+        fp
         (if fp = base_fp then "" else "  MISMATCH"))
     results;
   if not identical then
@@ -123,7 +135,7 @@ let run () =
         let fp_cold, stats_cold, cold_s = serve () in
         let fp_warm, stats_warm, warm_s = serve () in
         (jobs, fp_cold, cold_s, tier_rate stats_cold, fp_warm, warm_s, tier_rate stats_warm))
-      [ 1; 4 ]
+      (List.filter (fun j -> j = 1 || j <= Domain.recommended_domain_count ()) [ 1; 4 ])
   in
   let cache_identical =
     List.for_all (fun (_, fpc, _, _, fpw, _, _) -> fpc = base_fp && fpw = base_fp) cache_results
@@ -157,6 +169,7 @@ let run () =
         ("queries", Obs.Json.int (List.length requests));
         ("batch_repeat", Obs.Json.int batch_repeat);
         ("recommended_domains", Obs.Json.int (Domain.recommended_domain_count ()));
+        ("clamped", Obs.Json.Bool clamped);
         ("identical", Obs.Json.Bool identical);
         ("fingerprint", Obs.Json.Str base_fp);
         ( "sweep",
@@ -167,8 +180,10 @@ let run () =
                    [
                      ("jobs", Obs.Json.int jobs);
                      ("median_s", Obs.Json.Num t);
-                     ("qps", Obs.Json.Num (qps t));
-                     ("speedup", Obs.Json.Num (base_t /. t));
+                     ( "qps",
+                       match qps t with Some q -> Obs.Json.Num q | None -> Obs.Json.Null );
+                     ( "speedup",
+                       if t > 0.0 then Obs.Json.Num (base_t /. t) else Obs.Json.Null );
                      ("errors", Obs.Json.int errors);
                    ])
                results) );
@@ -186,7 +201,9 @@ let run () =
                            ("jobs", Obs.Json.int jobs);
                            ("cold_s", Obs.Json.Num cold_s);
                            ("warm_s", Obs.Json.Num warm_s);
-                           ("speedup", Obs.Json.Num (cold_s /. warm_s));
+                           ( "speedup",
+                             if warm_s > 0.0 then Obs.Json.Num (cold_s /. warm_s)
+                             else Obs.Json.Null );
                            ("cold_hit_rate", Obs.Json.Num hr_c);
                            ("warm_hit_rate", Obs.Json.Num hr_w);
                          ])

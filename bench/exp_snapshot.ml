@@ -1,0 +1,104 @@
+(* Snapshot — cold-start cost with and without the persistent snapshot.
+
+   The motivating number for `build -o` / `serve --snapshot`: a serving
+   process that boots from the snapshot skips the generator and the whole
+   offline sweep.  This experiment rebuilds the two-pair engine from
+   scratch (generation + sweep, timed), saves it once, then times
+   [Snapshot.load] of the same file, asserting
+
+     - the loaded engine's [Engine.fingerprint] is bit-identical to the
+       in-process build's, and
+     - a jobs=1 serve batch over the loaded engine fingerprints
+       bit-identically to the same batch over the in-process engine,
+
+   and reports median build time, median load time, their ratio and the
+   snapshot size to BENCH_SNAPSHOT.json.  The regression gate holds the
+   ratio above SNAPSHOT_MIN_SPEEDUP. *)
+
+open Bench_common
+module Obs = Topo_obs
+module Serve = Topo_core.Serve
+module Snapshot = Topo_core.Snapshot
+
+let pairs = [ ("Protein", "DNA"); ("Protein", "Interaction") ]
+
+let median times =
+  let a = Array.of_list times in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let rebuild () =
+  let t0 = Unix.gettimeofday () in
+  let catalog = Biozon.Generator.generate (params ()) in
+  let engine =
+    Engine.build catalog ~pairs ~l:3 ~pruning_threshold:(pruning_threshold ())
+      ?jobs:config.jobs ()
+  in
+  (engine, Unix.gettimeofday () -. t0)
+
+let serve_fp engine =
+  let requests = Exp_serve.mixed_workload engine in
+  let outcomes, _ = Serve.run ~jobs:1 engine requests in
+  Digest.to_hex (Digest.string (Serve.fingerprint outcomes))
+
+let run () =
+  Console.section "Snapshot — cold start: generator rebuild vs snapshot load";
+  let runs = max 1 config.runs in
+  let path = Filename.temp_file "toposearch_snapshot" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let build_samples = List.init runs (fun _ -> rebuild ()) in
+      let engine = fst (List.hd build_samples) in
+      let build_s = median (List.map snd build_samples) in
+      let bytes = Snapshot.save engine ~path in
+      let load_samples =
+        List.init runs (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            let loaded = Snapshot.load path in
+            (loaded, Unix.gettimeofday () -. t0))
+      in
+      let loaded = fst (List.hd load_samples) in
+      let load_s = median (List.map snd load_samples) in
+      let fp_built = Engine.fingerprint engine in
+      let fp_loaded = Engine.fingerprint loaded in
+      let identical = fp_built = fp_loaded in
+      let serve_built = serve_fp engine in
+      let serve_loaded = serve_fp loaded in
+      let serve_identical = serve_built = serve_loaded in
+      let speedup = if load_s > 0.0 then Some (build_s /. load_s) else None in
+      Printf.printf "rebuild (generate + sweep)  %.3fs median of %d\n" build_s runs;
+      Printf.printf "snapshot load               %.3fs median of %d (%d bytes)\n" load_s runs bytes;
+      Printf.printf "cold-start speedup          %s\n"
+        (match speedup with
+        | Some s -> Printf.sprintf "%.1fx" s
+        | None -> "not measurable (load under clock resolution)");
+      Printf.printf "engine fingerprint          %s\n" (if identical then "= in-process" else "MISMATCH");
+      Printf.printf "serve batch fingerprint     %s\n"
+        (if serve_identical then "= in-process" else "MISMATCH");
+      if not identical then
+        failwith "snapshot load is not faithful: engine fingerprints differ";
+      if not serve_identical then
+        failwith "snapshot load is not faithful: serve batch fingerprints differ";
+      let json =
+        Obs.Json.Obj
+          [
+            ("scale", Obs.Json.Num config.scale);
+            ("seed", Obs.Json.int config.seed);
+            ("runs", Obs.Json.int runs);
+            ("l", Obs.Json.int 3);
+            ("pairs", Obs.Json.Arr (List.map (fun (a, b) -> Obs.Json.Str (a ^ "-" ^ b)) pairs));
+            ("build_s", Obs.Json.Num build_s);
+            ("load_s", Obs.Json.Num load_s);
+            ("speedup", match speedup with Some s -> Obs.Json.Num s | None -> Obs.Json.Null);
+            ("bytes", Obs.Json.int bytes);
+            ("identical", Obs.Json.Bool identical);
+            ("serve_identical", Obs.Json.Bool serve_identical);
+            ("fingerprint", Obs.Json.Str fp_built);
+          ]
+      in
+      let oc = open_out "BENCH_SNAPSHOT.json" in
+      output_string oc (Obs.Json.to_string ~pretty:true json);
+      output_string oc "\n";
+      close_out oc;
+      print_endline "wrote BENCH_SNAPSHOT.json")

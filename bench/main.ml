@@ -33,6 +33,7 @@ let experiments =
     ("profile", Exp_profile.run);
     ("parallel", Exp_parallel.run);
     ("serve", Exp_serve.run);
+    ("snapshot", Exp_snapshot.run);
   ]
 
 let parse_args () =

@@ -19,6 +19,7 @@ module Engine = Topo_core.Engine
 module Query = Topo_core.Query
 module Ranking = Topo_core.Ranking
 module Nquery = Topo_core.Nquery
+module Snapshot = Topo_core.Snapshot
 module Obs = Topo_obs
 
 (* ------------------------------------------------------------------ *)
@@ -54,6 +55,32 @@ let make_instance scale seed =
 let build_engine catalog ~t1 ~t2 ~l ~threshold =
   Engine.build catalog ~pairs:[ (t1, t2) ] ~l ~pruning_threshold:threshold ()
 
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Boot from a snapshot written by $(b,build -o) instead of generating the instance and \
+           re-running the offline sweep.  $(b,--scale)/$(b,--seed)/$(b,--l)/$(b,--pruning-threshold) \
+           are ignored; the snapshot carries its build configuration.")
+
+let load_snapshot path =
+  match Snapshot.load path with
+  | engine -> engine
+  | exception Snapshot.Error msg ->
+      prerr_endline msg;
+      exit 2
+
+(* Either rebuild from scratch or boot from a snapshot; every online
+   subcommand goes through here. *)
+let engine_of ~snapshot ~scale ~seed ~l ~threshold ~t1 ~t2 =
+  match snapshot with
+  | Some path -> load_snapshot path
+  | None ->
+      let catalog = make_instance scale seed in
+      build_engine catalog ~t1 ~t2 ~l ~threshold
+
 (* ------------------------------------------------------------------ *)
 (* demo                                                                 *)
 
@@ -85,7 +112,7 @@ let pair_conv =
   let print fmt (a, b) = Format.fprintf fmt "%s:%s" a b in
   Arg.conv (parse, print)
 
-let build_run scale seed l threshold jobs pairs =
+let build_run scale seed l threshold jobs pairs output =
   let pairs = if pairs = [] then [ ("Protein", "DNA"); ("Protein", "Interaction") ] else pairs in
   let catalog = make_instance scale seed in
   let t0 = Unix.gettimeofday () in
@@ -107,7 +134,17 @@ let build_run scale seed l threshold jobs pairs =
   Printf.printf "\n%d distinct topologies registered\n"
     (Topo_core.Topology.count engine.Engine.ctx.Topo_core.Context.registry);
   Printf.printf "built in %.3fs\n" elapsed;
-  0
+  match output with
+  | None -> 0
+  | Some path -> (
+      match Snapshot.save engine ~path with
+      | bytes ->
+          Printf.printf "snapshot: %s (%d bytes, format v%d, fingerprint %s)\n" path bytes
+            Snapshot.version (Engine.fingerprint engine);
+          0
+      | exception Snapshot.Error msg ->
+          prerr_endline msg;
+          2)
 
 let build_cmd =
   let pairs =
@@ -116,12 +153,23 @@ let build_cmd =
       & info [ "pair" ] ~docv:"T1:T2"
           ~doc:"Entity-set pair to precompute (repeatable; default Protein:DNA and Protein:Interaction).")
   in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Persist the build as a versioned binary snapshot that $(b,serve --snapshot), \
+             $(b,check --snapshot) and $(b,explain --snapshot) can boot from without re-running \
+             the generator or the sweep.")
+  in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Run the offline phase only: topology computation for each requested pair, in parallel \
-          across $(b,--jobs) domains, printing per-pair sweep statistics.")
-    Term.(const build_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ jobs_arg $ pairs)
+          across $(b,--jobs) domains, printing per-pair sweep statistics.  With $(b,-o FILE), \
+          persist the result as a snapshot for instant cold starts.")
+    Term.(const build_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ jobs_arg $ pairs $ output)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                                *)
@@ -329,10 +377,10 @@ let gather_queries query_text file =
       prerr_endline "pass a SQL query or --file FILE";
       exit 2
 
-let check_run scale seed l threshold t1 t2 query_text file =
+let check_run scale seed l threshold t1 t2 snapshot query_text file =
   let queries = gather_queries query_text file in
-  let catalog = make_instance scale seed in
-  let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let engine = engine_of ~snapshot ~scale ~seed ~l ~threshold ~t1 ~t2 in
+  let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
   let failures = ref 0 in
   List.iter
     (fun q ->
@@ -366,7 +414,9 @@ let check_cmd =
          "Lint SQL queries: bind each one and run the physical-plan verifier (schema/arity typing, \
           ordering and grouping invariants) without executing.  Exits 1 when any query has \
           violations.")
-    Term.(const check_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text $ file)
+    Term.(
+      const check_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg
+      $ snapshot_arg $ text $ file)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                              *)
@@ -385,10 +435,10 @@ let rec est_json (n : Obs.Estimate.node) =
       ("children", Obs.Json.Arr (List.map est_json n.Obs.Estimate.children));
     ]
 
-let explain_run scale seed l threshold t1 t2 query_text file analyze json_out =
+let explain_run scale seed l threshold t1 t2 snapshot query_text file analyze json_out =
   let queries = gather_queries query_text file in
-  let catalog = make_instance scale seed in
-  let _engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+  let engine = engine_of ~snapshot ~scale ~seed ~l ~threshold ~t1 ~t2 in
+  let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
   let failures = ref 0 in
   let reports = ref [] in
   List.iter
@@ -445,8 +495,8 @@ let explain_cmd =
          "Show a query's physical plan with the optimizer's cardinality and cost estimates.  With \
           $(b,--analyze), execute the plan under per-operator instrumentation (EXPLAIN ANALYZE).")
     Term.(
-      const explain_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ text
-      $ file $ analyze $ json_out)
+      const explain_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg
+      $ snapshot_arg $ text $ file $ analyze $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                              *)
@@ -570,9 +620,9 @@ let default_workload catalog ~t1 ~t2 =
         [ "kinase"; "enzyme"; "" ])
     Engine.all_methods
 
-let serve_run scale seed l threshold t1 t2 jobs file repeat traces check use_cache cache_size =
-  let catalog = make_instance scale seed in
-  let engine = build_engine catalog ~t1 ~t2 ~l ~threshold in
+let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces check use_cache cache_size =
+  let engine = engine_of ~snapshot ~scale ~seed ~l ~threshold ~t1 ~t2 in
+  let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
   let base, skipped =
     match file with
     | Some path -> read_workload catalog ~t1 ~t2 path
@@ -615,12 +665,15 @@ let serve_run scale seed l threshold t1 t2 jobs file repeat traces check use_cac
       outcomes
   end;
   Printf.printf
-    "\nserved %d quer%s (%d error%s) in %.3fs on %d domain(s), jobs=%d: %.1f queries/s\n"
+    "\nserved %d quer%s (%d error%s) in %.3fs on %d domain(s), jobs=%d: %s\n"
     stats.Serve.queries
     (if stats.Serve.queries = 1 then "y" else "ies")
     stats.Serve.errors
     (if stats.Serve.errors = 1 then "" else "s")
-    stats.Serve.elapsed_s stats.Serve.domains_used stats.Serve.jobs stats.Serve.throughput_qps;
+    stats.Serve.elapsed_s stats.Serve.domains_used stats.Serve.jobs
+    (match stats.Serve.throughput_qps with
+    | Some qps -> Printf.sprintf "%.1f queries/s" qps
+    | None -> "throughput not measurable (batch under clock resolution)");
   (match stats.Serve.cache with
   | Some c ->
       let r = c.Topo_core.Cache.results in
@@ -704,8 +757,8 @@ let serve_cmd =
           serving tier): shared read-only stores, per-domain engine handles, per-query counters \
           and traces, optional shared result/plan cache, deterministic input-order results.")
     Term.(
-      const serve_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg $ jobs
-      $ file $ repeat $ traces $ check $ use_cache $ cache_size)
+      const serve_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg
+      $ snapshot_arg $ jobs $ file $ repeat $ traces $ check $ use_cache $ cache_size)
 
 (* ------------------------------------------------------------------ *)
 (* nquery                                                               *)

@@ -236,6 +236,46 @@ let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Reques
           | Error _ -> (* failures are not memoized: they re-raise deterministically *) ());
           outcome result counters Request.Miss)
 
+(* The full observable output of the offline phase, as one digest: every
+   registered topology's (TID, canonical key, decompositions) plus every
+   derived table's rows in insertion order.  Tables are visited sorted by
+   name so the digest does not depend on catalog registration order;
+   within a table, row order is meaningful (and jobs-invariant: the build
+   commits rows in declared pair order then (a, b) order). *)
+let derived_prefixes = [ "AllTops_"; "LeftTops_"; "ExcpTops_"; "TopInfo_" ]
+
+let is_derived_table name =
+  List.exists
+    (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    derived_prefixes
+
+let fingerprint t =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (tp : Topology.t) ->
+      Buffer.add_string buf (Printf.sprintf "T%d %s" tp.Topology.tid tp.Topology.key);
+      List.iter
+        (fun d -> Buffer.add_string buf ("|" ^ String.concat "," d))
+        (Atomic.get tp.Topology.decompositions);
+      Buffer.add_char buf '\n')
+    (Topology.all t.ctx.Context.registry);
+  let tables =
+    Topo_sql.Catalog.tables t.ctx.Context.catalog
+    |> List.filter (fun tb -> is_derived_table (Topo_sql.Table.name tb))
+    |> List.sort (fun a b -> compare (Topo_sql.Table.name a) (Topo_sql.Table.name b))
+  in
+  List.iter
+    (fun tb ->
+      Buffer.add_string buf (Topo_sql.Table.name tb);
+      Buffer.add_char buf '\n';
+      Topo_sql.Table.iter
+        (fun _ tuple ->
+          Buffer.add_string buf (Topo_sql.Tuple.to_string tuple);
+          Buffer.add_char buf '\n')
+        tb)
+    tables;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let topology t tid = Topology.find t.ctx.Context.registry tid
 
 let describe t tid = Topology.describe t.ctx.Context.interner (topology t tid)

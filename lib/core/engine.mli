@@ -124,6 +124,16 @@ val run :
   unit ->
   result
 
+(** [fingerprint t] digests the full observable output of the offline
+    phase: every registered topology's (TID, canonical key,
+    decompositions) plus every derived
+    [AllTops_*/LeftTops_*/ExcpTops_*/TopInfo_*] table's rows in insertion
+    order, as one hex digest.  Builds with different [jobs] values
+    fingerprint identically; {!Snapshot.save} records it and
+    {!Snapshot.load} refuses a snapshot whose reconstructed engine does
+    not reproduce it. *)
+val fingerprint : t -> string
+
 (** [topology t tid].  @raise Not_found for unknown TIDs. *)
 val topology : t -> int -> Topology.t
 

@@ -54,7 +54,7 @@ type stats = {
   queries : int;
   errors : int;
   elapsed_s : float;
-  throughput_qps : float;
+  throughput_qps : float option;  (* None when elapsed is below clock resolution *)
   domains_used : int;
   cache : Cache.totals option;  (* this batch's cache activity, when caching *)
 }
@@ -63,37 +63,48 @@ type stats = {
 (* Per-domain engine handles                                           *)
 
 type handle = {
-  h_engine : Engine.t;  (* shared read-only state *)
   h_domain : int;
   mutable h_served : int;  (* queries evaluated through this handle *)
 }
 
 (* One handle per (domain, engine): lazily created the first time a domain
    picks up a query for a given engine, reused for the rest of the batch
-   (and across batches when the caller keeps a pool alive). *)
-let handle_slot : handle option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+   (and across batches when the caller keeps a pool alive).  The DLS slot
+   holds a small assoc keyed by engine so a domain serving several engines
+   keeps every handle's h_served intact — and the key is a weak pointer
+   ([Topo_core]'s own [Weak] module shadows the stdlib one, hence
+   [Stdlib.Weak]), so a retired engine is not pinned in domain-local
+   storage forever: its entry is dropped the next time the slot is
+   updated after collection. *)
+let handle_slot : (Engine.t Stdlib.Weak.t * handle) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
 let handle_for engine =
-  match Domain.DLS.get handle_slot with
-  | Some h when h.h_engine == engine -> h
-  | Some _ | None ->
-      let h = { h_engine = engine; h_domain = (Domain.self () :> int); h_served = 0 } in
-      Domain.DLS.set handle_slot (Some h);
+  let entries = Domain.DLS.get handle_slot in
+  let holds w = match Stdlib.Weak.get w 0 with Some e -> e == engine | None -> false in
+  match List.find_opt (fun (w, _) -> holds w) entries with
+  | Some (_, h) -> h
+  | None ->
+      let w = Stdlib.Weak.create 1 in
+      Stdlib.Weak.set w 0 (Some engine);
+      let h = { h_domain = (Domain.self () :> int); h_served = 0 } in
+      let live = List.filter (fun (w', _) -> Stdlib.Weak.check w' 0) entries in
+      Domain.DLS.set handle_slot ((w, h) :: live);
       h
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
 
-let evaluate ~traces ?cache handle req =
+let evaluate ~traces ?cache engine handle req =
   handle.h_served <- handle.h_served + 1;
-  Engine.run_request handle.h_engine ?cache ~traces req
+  Engine.run_request engine ?cache ~traces req
 
 let serve_on pool ~traces ?cache engine requests =
   let input = Array.of_list requests in
   let before = Option.map Cache.totals cache in
   let t0 = Unix.gettimeofday () in
   let outcomes =
-    Pool.parallel_map pool input ~f:(fun req -> evaluate ~traces ?cache (handle_for engine) req)
+    Pool.parallel_map pool input ~f:(fun req -> evaluate ~traces ?cache engine (handle_for engine) req)
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let outcomes = Array.to_list outcomes in
@@ -111,7 +122,9 @@ let serve_on pool ~traces ?cache engine requests =
       queries;
       errors;
       elapsed_s;
-      throughput_qps = (if elapsed_s > 0.0 then float_of_int queries /. elapsed_s else 0.0);
+      (* A sub-resolution batch (warm cache, coarse clock) has no
+         measurable throughput; reporting 0.0 would read as a collapse. *)
+      throughput_qps = (if elapsed_s > 0.0 then Some (float_of_int queries /. elapsed_s) else None);
       domains_used = List.length domains;
       cache = cache_delta;
     } )

@@ -45,7 +45,10 @@ type stats = {
   queries : int;
   errors : int;  (** outcomes whose [result] is [Error] *)
   elapsed_s : float;  (** wall time for the whole batch *)
-  throughput_qps : float;  (** [queries /. elapsed_s] *)
+  throughput_qps : float option;
+      (** [queries /. elapsed_s], or [None] when the batch finished under
+          the clock's resolution ([elapsed_s = 0.0]) — "not measurable",
+          never to be read as zero throughput *)
   domains_used : int;  (** distinct domains that served at least one query *)
   cache : Cache.totals option;
       (** cache activity attributable to this batch alone (a before/after

@@ -1,0 +1,51 @@
+(** Versioned binary snapshots of the offline build output.
+
+    The paper reports more than a day of l = 4 precomputation at Biozon
+    scale; a serving fleet cannot re-run the generator and the offline
+    sweep on every process start.  [save] persists everything
+    {!Engine.build} produced — the intern pool, every catalog table
+    (schemas, tuples, primary keys), index specs (indexes themselves are
+    cheap to rebuild), catalog statistics, the topology registry with all
+    decompositions, per-pair {!Store.t} metadata, and the build
+    configuration — as one self-contained binary file.  [load]
+    reconstructs a working {!Engine.t} from it in milliseconds, without
+    touching the generator.
+
+    Format (little-endian throughout): a fixed header — magic
+    ["TOPOSNAP"], a format version, a flags word, the payload length, the
+    engine's {!Engine.fingerprint} and a whole-payload checksum — followed
+    by marker-introduced sections.  Table tuples are stored column-major: a tag byte per cell
+    plus, for numeric columns, a fixed-width 8-byte payload array, so a
+    later mmap/Bigarray path is a local change to the table codec.
+
+    Failure modes are loud: a bad magic, an unsupported version, a
+    truncated file, a flipped payload byte (the checksum covers every
+    byte, including base-table data the engine fingerprint does not
+    digest), any malformed section, and a fingerprint that the
+    reconstructed engine fails to reproduce all raise {!Error} with a
+    descriptive message.  A snapshot never loads silently wrong. *)
+
+(** Raised by {!save} (unencodable state, I/O errors) and {!load}
+    (unreadable, corrupt, version-mismatched, or fingerprint-mismatched
+    snapshots).  The message says what was being read and where. *)
+exception Error of string
+
+(** The format version this build writes and reads.  Bumped on any layout
+    change; [load] rejects every other version rather than guessing. *)
+val version : int
+
+(** [save engine ~path] writes the snapshot and returns the byte count.
+    @raise Error on unencodable state (e.g. a string value in a numeric
+    column) or I/O failure. *)
+val save : Engine.t -> path:string -> int
+
+(** [load path] reconstructs the engine: restores the intern pool, the
+    catalog (tables, indexes, statistics), the topology registry (every
+    topology re-registered in TID order, canonical keys verified), the
+    per-pair stores, and the derived graphs (data graph and schema graph
+    are rebuilt from the restored catalog — they are cheap relative to
+    the sweep), then verifies that {!Engine.fingerprint} of the result
+    matches the digest recorded at save time.
+    @raise Error when the file is unreadable, corrupt, from another
+    format version, or fails fingerprint verification. *)
+val load : string -> Engine.t

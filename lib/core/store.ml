@@ -71,7 +71,12 @@ let build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold =
     |> List.sort (fun (_, fa) (_, fb) -> Int.compare fb fa)
     |> List.map (fun (tid, _) -> Topology.find registry tid)
   in
-  let pruned_tids = List.map (fun (t : Topology.t) -> t.Topology.tid) pruned in
+  (* Hash sets replace the List.mem scans of the hot loops below (TID
+     lists and class-key lists are short, but rows x tids x pruned
+     multiplies); insertion order — and so the resulting tables — is
+     bit-identical to the naive scans. *)
+  let pruned_tid_set = Hashtbl.create 16 in
+  List.iter (fun (t : Topology.t) -> Hashtbl.replace pruned_tid_set t.Topology.tid ()) pruned;
   (* AllTops / LeftTops. *)
   let alltops = fresh_table catalog alltops_n (Lazy.force pair_schema) ~primary_key:None in
   let lefttops = fresh_table catalog lefttops_n (Lazy.force pair_schema) ~primary_key:None in
@@ -81,26 +86,37 @@ let build catalog interner registry ~rows ~t1 ~t2 ~pruning_threshold =
         (fun tid ->
           let row = [ Value.Int r.Compute.a; Value.Int r.Compute.b; Value.Int tid ] in
           Table.insert_values alltops row;
-          if not (List.mem tid pruned_tids) then Table.insert_values lefttops row)
+          if not (Hashtbl.mem pruned_tid_set tid) then Table.insert_values lefttops row)
         r.Compute.tids)
     rows;
   (* ExcpTops: pairs satisfying a pruned topology's path condition whose
-     actual topology set omits it. *)
+     actual topology set omits it.  Each row's class-key and TID sets are
+     materialized once, outside the per-pruned-topology sweep. *)
   let excptops = fresh_table catalog excptops_n (Lazy.force pair_schema) ~primary_key:None in
+  let row_sets =
+    List.map
+      (fun (r : Compute.pair_row) ->
+        let keys = Hashtbl.create 8 in
+        List.iter (fun key -> Hashtbl.replace keys key ()) r.Compute.class_keys;
+        let tids = Hashtbl.create 8 in
+        List.iter (fun tid -> Hashtbl.replace tids tid ()) r.Compute.tids;
+        (r, keys, tids))
+      rows
+  in
   List.iter
     (fun (p : Topology.t) ->
+      let decompositions = Atomic.get p.Topology.decompositions in
       List.iter
-        (fun (r : Compute.pair_row) ->
+        (fun ((r : Compute.pair_row), keys, tids) ->
           let satisfies_condition =
             List.exists
-              (fun decomposition ->
-                List.for_all (fun key -> List.mem key r.Compute.class_keys) decomposition)
-              (Atomic.get p.Topology.decompositions)
+              (fun decomposition -> List.for_all (fun key -> Hashtbl.mem keys key) decomposition)
+              decompositions
           in
-          if satisfies_condition && not (List.mem p.Topology.tid r.Compute.tids) then
+          if satisfies_condition && not (Hashtbl.mem tids p.Topology.tid) then
             Table.insert_values excptops
               [ Value.Int r.Compute.a; Value.Int r.Compute.b; Value.Int p.Topology.tid ])
-        rows)
+        row_sets)
     pruned;
   (* TopInfo with all three ranking scores. *)
   let topinfo = fresh_table catalog topinfo_n (Lazy.force topinfo_schema) ~primary_key:(Some "TID") in

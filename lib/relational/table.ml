@@ -139,6 +139,10 @@ and ensure_index_slow t ~kind ~cols ~key =
           Atomic.set t.index_cache { upto = len; entries = (key, idx) :: cache.entries };
           idx)
 
+(* Entries accumulate newest-first; reverse so callers replay builds in
+   the order they originally happened. *)
+let index_specs t = List.rev_map fst (Atomic.get t.index_cache).entries
+
 let byte_size t = t.byte_size
 
 let truncate t =

@@ -56,6 +56,12 @@ val primary_key : t -> string option
     this freely on a frozen table. *)
 val ensure_index : t -> kind:Index.kind -> cols:string list -> Index.t
 
+(** [index_specs t] is the [(kind, column names)] of every index currently
+    cached, oldest first — enough to rebuild the indexes cheaply via
+    {!ensure_index}.  Snapshots persist these specs instead of index
+    payloads. *)
+val index_specs : t -> (Index.kind * string list) list
+
 (** [byte_size t] is the estimated storage size: sum of row widths.  This is
     the quantity reported in Table 1. *)
 val byte_size : t -> int

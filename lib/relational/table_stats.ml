@@ -33,6 +33,15 @@ let compute table =
     avg_width = (if n = 0 then 0.0 else float_of_int width_sum /. float_of_int n);
   }
 
+let columns t = Array.length t.histograms
+
+let sample t col =
+  if col < 0 || col >= Array.length t.samples then
+    invalid_arg (Printf.sprintf "Table_stats.sample: column %d" col);
+  Array.copy t.samples.(col)
+
+let restore ~row_count ~histograms ~samples ~avg_width = { row_count; histograms; samples; avg_width }
+
 let row_count t = t.row_count
 
 let histogram t col =

@@ -12,6 +12,24 @@ type t
     column. *)
 val compute : Table.t -> t
 
+(** [columns t] is the number of columns summarized (the table's arity at
+    compute time). *)
+val columns : t -> int
+
+(** [sample t col] is the bounded per-column sample used for [Contains]
+    estimation.  @raise Invalid_argument when out of range. *)
+val sample : t -> int -> Value.t array
+
+(** [restore ~row_count ~histograms ~samples ~avg_width] rebuilds a stats
+    record from previously extracted state — the snapshot codec's inverse
+    of {!compute}. *)
+val restore :
+  row_count:int ->
+  histograms:Histogram.t array ->
+  samples:Value.t array array ->
+  avg_width:float ->
+  t
+
 (** [row_count t]. *)
 val row_count : t -> int
 
