@@ -1,8 +1,8 @@
 (* Benchmark regression gate for CI.
 
-   Reads BENCH_PARALLEL.json, BENCH_SERVE.json and BENCH_SNAPSHOT.json
-   (produced by `bench/main.exe -- parallel serve snapshot` at smoke
-   scale) and fails unless:
+   Reads BENCH_PARALLEL.json, BENCH_SERVE.json, BENCH_SNAPSHOT.json and
+   BENCH_KERNELS.json (produced by `bench/main.exe -- parallel serve
+   snapshot kernels` at smoke scale) and fails unless:
 
    - parallel and serve report `identical = true` (jobs > 1 output
      bit-identical to jobs = 1 — the correctness half of the gate);
@@ -27,10 +27,15 @@
      a cold-start speedup of at least SNAPSHOT_MIN_SPEEDUP (default 10):
      booting from the snapshot must be an order of magnitude faster than
      re-running the generator and the sweep.  CI at smoke scale sets a
-     lower floor — tiny builds under-state the win.
+     lower floor — tiny builds under-state the win;
+   - the kernels experiment reports `identical = true` (the serve batch
+     fingerprints bit-identically with the int-specialized execution
+     kernels on and off) and a join-microbenchmark speedup of at least
+     KERNELS_MIN_SPEEDUP (default 1.3).  CI at smoke scale sets a lower
+     floor — small tables under-state the per-probe savings.
 
    Usage: dune exec bench/check_regress.exe
-            [PARALLEL.json SERVE.json [SNAPSHOT.json]] *)
+            [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json]]] *)
 
 module Json = Topo_obs.Json
 
@@ -92,13 +97,15 @@ let env_floor name default =
   | None -> default
 
 let () =
-  let parallel_path, serve_path, snapshot_path =
+  let parallel_path, serve_path, snapshot_path, kernels_path =
     match Sys.argv with
-    | [| _ |] -> ("BENCH_PARALLEL.json", "BENCH_SERVE.json", "BENCH_SNAPSHOT.json")
-    | [| _; p; s |] -> (p, s, "BENCH_SNAPSHOT.json")
-    | [| _; p; s; n |] -> (p, s, n)
+    | [| _ |] -> ("BENCH_PARALLEL.json", "BENCH_SERVE.json", "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json")
+    | [| _; p; s |] -> (p, s, "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json")
+    | [| _; p; s; n |] -> (p, s, n, "BENCH_KERNELS.json")
+    | [| _; p; s; n; k |] -> (p, s, n, k)
     | _ ->
-        prerr_endline "usage: check_regress [PARALLEL.json SERVE.json [SNAPSHOT.json]]";
+        prerr_endline
+          "usage: check_regress [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json]]]";
         exit 2
   in
   let parallel = read_json parallel_path in
@@ -152,4 +159,23 @@ let () =
       print_endline "ok: snapshot load below clock resolution"
   | Some _ -> fail "%s: \"speedup\" is not a number or null" snapshot_path
   | None -> fail "%s: missing field \"speedup\"" snapshot_path);
-  print_endline "ok: snapshot cold start at or above the speedup floor"
+  print_endline "ok: snapshot cold start at or above the speedup floor";
+  (* Kernel gate: serve fingerprints must be invariant under kernel
+     execution (hard correctness gate), and the join microbenchmark must
+     hold its speedup above KERNELS_MIN_SPEEDUP (default 1.3; CI smoke
+     scale sets a looser floor — tiny tables under-state the win). *)
+  let kernels = read_json kernels_path in
+  if not (as_bool kernels_path "identical" (get kernels_path kernels "identical")) then
+    fail "%s: kernel execution changed the serve batch fingerprint" kernels_path;
+  Printf.printf "ok: %s kernel execution bit-identical to generic operators\n" kernels_path;
+  (match Json.member "speedup" kernels with
+  | Some (Json.Num speedup) ->
+      let floor = env_floor "KERNELS_MIN_SPEEDUP" 1.3 in
+      Printf.printf "kernel join microbench: %.2fx faster than generic (floor %.2fx)\n" speedup
+        floor;
+      if speedup < floor then
+        fail "kernel speedup too small: %.2fx < the %.2fx floor" speedup floor
+  | Some Json.Null -> print_endline "ok: kernel microbench below clock resolution"
+  | Some _ -> fail "%s: \"speedup\" is not a number or null" kernels_path
+  | None -> fail "%s: missing field \"speedup\"" kernels_path);
+  print_endline "ok: kernel join speedup at or above the floor"

@@ -34,6 +34,7 @@ let experiments =
     ("parallel", Exp_parallel.run);
     ("serve", Exp_serve.run);
     ("snapshot", Exp_snapshot.run);
+    ("kernels", Exp_kernels.run);
   ]
 
 let parse_args () =

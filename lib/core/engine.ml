@@ -268,9 +268,12 @@ let fingerprint t =
     (fun tb ->
       Buffer.add_string buf (Topo_sql.Table.name tb);
       Buffer.add_char buf '\n';
-      Topo_sql.Table.iter
-        (fun _ tuple ->
-          Buffer.add_string buf (Topo_sql.Tuple.to_string tuple);
+      (* Renders straight off columnar backings (byte-identical to
+         [Tuple.to_string]) so fingerprinting a freshly loaded engine
+         does not box every derived row. *)
+      Topo_sql.Table.iter_row_strings
+        (fun s ->
+          Buffer.add_string buf s;
           Buffer.add_char buf '\n')
         tb)
     tables;

@@ -471,53 +471,106 @@ let load path =
             | k -> fail "corrupt snapshot: bad primary-key flag %d in table %s" k name
           in
           let schema = Schema.make cols in
-          let tb = Catalog.create_table catalog ~name ~schema ?primary_key () in
           let n = r_int "row count" in
           if n < 0 || n > limit then
             fail "corrupt snapshot: implausible row count %d for table %s" n name;
           let cols_arr = Array.of_list cols in
           let arity = Array.length cols_arr in
-          let columns = Array.make arity [||] in
+          (* Decode each column straight into a typed lane: the codec's
+             fixed-width numeric sections become Bigarray lanes with no
+             per-cell [Value.t] boxing, and the resulting table serves the
+             execution kernels zero-copy (rows box lazily on demand). *)
+          let lanes = Array.make arity (Column.Boxed [||]) in
+          let module A1 = Bigarray.Array1 in
           for ci = 0 to arity - 1 do
             let cname = cols_arr.(ci).Schema.name in
-            let tags = Array.make n 0 in
-            for r = 0 to n - 1 do
-              tags.(r) <- r_u8 "cell tag"
-            done;
-            let col = Array.make n Value.Null in
-            (match cols_arr.(ci).Schema.ty with
-            | Schema.TInt | Schema.TFloat ->
-                for r = 0 to n - 1 do
-                  let raw = r_i64 "numeric cell" in
-                  col.(r) <-
-                    (match tags.(r) with
-                    | 0 -> Value.Null
-                    | 1 -> Value.Int (Int64.to_int raw)
-                    | 2 -> Value.Float (Int64.float_of_bits raw)
-                    | 3 ->
-                        fail "corrupt snapshot: string tag in numeric column %s.%s row %d" name
-                          cname r
-                    | k -> fail "corrupt snapshot: unknown cell tag %d in %s.%s" k name cname)
-                done
-            | Schema.TStr ->
-                for r = 0 to n - 1 do
-                  col.(r) <-
-                    (match tags.(r) with
-                    | 0 -> Value.Null
-                    | 1 -> Value.Int (r_int "int cell")
-                    | 2 -> Value.Float (r_f64 "float cell")
-                    | 3 -> Value.Str (r_str "string cell")
-                    | k -> fail "corrupt snapshot: unknown cell tag %d in %s.%s" k name cname)
-                done);
-            columns.(ci) <- col
+            need n "cell tags";
+            let tags = Bytes.of_string (String.sub data !pos n) in
+            pos := !pos + n;
+            let classify limit_tag =
+              (* Fold the column's tag profile: bit per tag seen. *)
+              let seen = ref 0 in
+              for r = 0 to n - 1 do
+                let t = Char.code (Bytes.get tags r) in
+                if t > limit_tag then
+                  fail "corrupt snapshot: unexpected cell tag %d in %s.%s" t name cname;
+                seen := !seen lor (1 lsl t)
+              done;
+              !seen
+            in
+            lanes.(ci) <-
+              (match cols_arr.(ci).Schema.ty with
+              | Schema.TInt | Schema.TFloat ->
+                  let seen = classify 2 in
+                  need (8 * n) "numeric lane";
+                  let base = !pos in
+                  pos := base + (8 * n);
+                  if seen = 0b010 then begin
+                    let a = A1.create Bigarray.int Bigarray.c_layout n in
+                    for r = 0 to n - 1 do
+                      A1.set a r (Int64.to_int (String.get_int64_le data (base + (8 * r))))
+                    done;
+                    Column.Ints a
+                  end
+                  else if seen = 0b100 then begin
+                    let a = A1.create Bigarray.float64 Bigarray.c_layout n in
+                    for r = 0 to n - 1 do
+                      A1.set a r (Int64.float_of_bits (String.get_int64_le data (base + (8 * r))))
+                    done;
+                    Column.Floats a
+                  end
+                  else begin
+                    let bits = A1.create Bigarray.int64 Bigarray.c_layout n in
+                    for r = 0 to n - 1 do
+                      A1.set bits r (String.get_int64_le data (base + (8 * r)))
+                    done;
+                    Column.Nums { tags; bits }
+                  end
+              | Schema.TStr ->
+                  let seen = classify 3 in
+                  if seen land 0b0110 = 0 then begin
+                    (* Nulls and strings only: the interned fast lane. *)
+                    let pool_ids = Hashtbl.create 64 in
+                    let spool = Topo_util.Dyn.create () in
+                    (* Explicit loop: the cell reader advances [pos], so
+                       evaluation order must be row order. *)
+                    let ids = Array.make n (-1) in
+                    for r = 0 to n - 1 do
+                      if Bytes.get tags r <> '\000' then
+                        let s = r_str "string cell" in
+                        ids.(r) <-
+                          (match Hashtbl.find_opt pool_ids s with
+                          | Some id -> id
+                          | None ->
+                              let id = Topo_util.Dyn.length spool in
+                              Topo_util.Dyn.push spool s;
+                              Hashtbl.add pool_ids s id;
+                              id)
+                    done;
+                    Column.Strs { ids; pool = Topo_util.Dyn.to_array spool }
+                  end
+                  else begin
+                    let cells = Array.make n Value.Null in
+                    for r = 0 to n - 1 do
+                      cells.(r) <-
+                        (match Char.code (Bytes.get tags r) with
+                        | 0 -> Value.Null
+                        | 1 -> Value.Int (r_int "int cell")
+                        | 2 -> Value.Float (r_f64 "float cell")
+                        | _ -> Value.Str (r_str "string cell"))
+                    done;
+                    Column.Boxed cells
+                  end)
           done;
-          for r = 0 to n - 1 do
-            Table.insert tb (Array.init arity (fun ci -> columns.(ci).(r)))
-          done;
+          let tb = Table.of_columns ~name ~schema ?primary_key (Column.make ~rows:n lanes) in
+          Catalog.add catalog tb;
           tb)
     in
-    (* 'X' index specs: rebuild each index eagerly (cheap relative to the
-       sweep; a cold-started server probes warm). *)
+    (* 'X' index specs: declared, not built — the spec list is visible
+       immediately (and survives into the next snapshot), while each
+       payload fills on its first probe.  Eager builds here would box
+       every row of the columnar tables before the server answers its
+       first query. *)
     expect 'X' "index specs";
     List.iter
       (fun tb ->
@@ -531,7 +584,7 @@ let load path =
           in
           let n_cols = r_count "index column count" in
           let cols = r_list n_cols "index column" (fun () -> r_str "index column name") in
-          ignore (Table.ensure_index tb ~kind ~cols)
+          Table.declare_index tb ~kind ~cols
         done)
       tables;
     (* 'S' statistics. *)

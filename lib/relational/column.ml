@@ -1,0 +1,171 @@
+module A1 = Bigarray.Array1
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+type i64s = (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t
+
+type lane =
+  | Ints of ints
+  | Floats of floats
+  | Nums of { tags : Bytes.t; bits : i64s }
+  | Strs of { ids : int array; pool : string array }
+  | Boxed of Value.t array
+
+type t = { n_rows : int; lanes : lane array }
+
+let null_tag = '\000'
+let int_tag = '\001'
+let float_tag = '\002'
+
+let lane_length = function
+  | Ints a -> A1.dim a
+  | Floats a -> A1.dim a
+  | Nums { bits; _ } -> A1.dim bits
+  | Strs { ids; _ } -> Array.length ids
+  | Boxed a -> Array.length a
+
+let make ~rows lanes =
+  Array.iteri
+    (fun i lane ->
+      if lane_length lane <> rows then
+        invalid_arg
+          (Printf.sprintf "Column.make: lane %d has %d rows, expected %d" i (lane_length lane) rows))
+    lanes;
+  { n_rows = rows; lanes }
+
+let rows t = t.n_rows
+
+let arity t = Array.length t.lanes
+
+let lane t ci = t.lanes.(ci)
+
+let ints = function Ints a -> Some a | Floats _ | Nums _ | Strs _ | Boxed _ -> None
+
+let lane_value lane r =
+  match lane with
+  | Ints a -> Value.Int (A1.get a r)
+  | Floats a -> Value.Float (A1.get a r)
+  | Nums { tags; bits } ->
+      let tag = Bytes.get tags r in
+      if tag = null_tag then Value.Null
+      else if tag = int_tag then Value.Int (Int64.to_int (A1.get bits r))
+      else Value.Float (Int64.float_of_bits (A1.get bits r))
+  | Strs { ids; pool } ->
+      let id = ids.(r) in
+      if id < 0 then Value.Null else Value.Str pool.(id)
+  | Boxed a -> a.(r)
+
+let value t ci r = lane_value t.lanes.(ci) r
+
+let tuple t r = Array.init (arity t) (fun ci -> lane_value t.lanes.(ci) r)
+
+let to_rows t = Array.init t.n_rows (tuple t)
+
+(* Renders exactly like [Value.to_string] so the columnar and row paths of
+   [Engine.fingerprint] digest identical bytes. *)
+let add_cell_string buf lane r =
+  match lane with
+  | Ints a -> Buffer.add_string buf (string_of_int (A1.get a r))
+  | Floats a -> Buffer.add_string buf (Printf.sprintf "%g" (A1.get a r))
+  | Strs { ids; pool } ->
+      let id = ids.(r) in
+      Buffer.add_string buf (if id < 0 then "NULL" else pool.(id))
+  | Nums _ | Boxed _ -> Buffer.add_string buf (Value.to_string (lane_value lane r))
+
+(* Renders exactly like [Tuple.to_string]. *)
+let add_row_string buf t r =
+  Buffer.add_char buf '(';
+  let k = arity t in
+  for ci = 0 to k - 1 do
+    if ci > 0 then Buffer.add_string buf ", ";
+    add_cell_string buf t.lanes.(ci) r
+  done;
+  Buffer.add_char buf ')'
+
+(* Per-cell widths as in [Value.width], summed without boxing, so a
+   columnar-backed table reports the same [Table.byte_size] a row-built
+   one would. *)
+let byte_size t =
+  let total = ref 0 in
+  Array.iter
+    (fun lane ->
+      match lane with
+      | Ints a -> total := !total + (8 * A1.dim a)
+      | Floats a -> total := !total + (8 * A1.dim a)
+      | Nums { tags; _ } ->
+          Bytes.iter (fun tag -> total := !total + if tag = null_tag then 1 else 8) tags
+      | Strs { ids; pool } ->
+          Array.iter
+            (fun id -> total := !total + if id < 0 then 1 else String.length pool.(id) + 8)
+            ids
+      | Boxed a -> Array.iter (fun v -> total := !total + Value.width v) a)
+    t.lanes;
+  !total
+
+(* Classify one column of boxed cells into the tightest lane the data
+   admits.  Declared type narrows the candidates; actual cells decide
+   (tables do not enforce column types, so a declared-Int column holding a
+   string still round-trips via [Boxed]). *)
+let of_values (ty : Schema.ty) (cells : Value.t array) : lane =
+  let n = Array.length cells in
+  let all p = Array.for_all p cells in
+  (* Each branch below re-matches cells a classifying [all] pass already
+     vetted; reaching the impossible arm means the array mutated under us. *)
+  let unreachable_cell () =
+    invalid_arg "Column.of_values: cell changed shape during classification"
+  in
+  match ty with
+  | Schema.TInt | Schema.TFloat ->
+      if all (function Value.Int _ -> true | _ -> false) then begin
+        let a = A1.create Bigarray.int Bigarray.c_layout n in
+        for r = 0 to n - 1 do
+          A1.set a r (match cells.(r) with Value.Int x -> x | _ -> unreachable_cell ())
+        done;
+        Ints a
+      end
+      else if all (function Value.Float _ -> true | _ -> false) then begin
+        let a = A1.create Bigarray.float64 Bigarray.c_layout n in
+        for r = 0 to n - 1 do
+          A1.set a r (match cells.(r) with Value.Float f -> f | _ -> unreachable_cell ())
+        done;
+        Floats a
+      end
+      else if all (function Value.Str _ -> false | _ -> true) then begin
+        let tags = Bytes.make n null_tag in
+        let bits = A1.create Bigarray.int64 Bigarray.c_layout n in
+        for r = 0 to n - 1 do
+          match cells.(r) with
+          | Value.Null -> A1.set bits r 0L
+          | Value.Int x ->
+              Bytes.set tags r int_tag;
+              A1.set bits r (Int64.of_int x)
+          | Value.Float f ->
+              Bytes.set tags r float_tag;
+              A1.set bits r (Int64.bits_of_float f)
+          | Value.Str _ -> unreachable_cell ()
+        done;
+        Nums { tags; bits }
+      end
+      else Boxed (Array.copy cells)
+  | Schema.TStr ->
+      if all (function Value.Null | Value.Str _ -> true | _ -> false) then begin
+        let pool_ids = Hashtbl.create 64 in
+        let pool = Topo_util.Dyn.create () in
+        let ids =
+          Array.map
+            (function
+              | Value.Null -> -1
+              | Value.Str s -> (
+                  match Hashtbl.find_opt pool_ids s with
+                  | Some id -> id
+                  | None ->
+                      let id = Topo_util.Dyn.length pool in
+                      Topo_util.Dyn.push pool s;
+                      Hashtbl.add pool_ids s id;
+                      id)
+              | _ -> unreachable_cell ())
+            cells
+        in
+        Strs { ids; pool = Topo_util.Dyn.to_array pool }
+      end
+      else Boxed (Array.copy cells)

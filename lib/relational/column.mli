@@ -1,0 +1,77 @@
+(** Typed column lanes: the columnar counterpart of a table's row store.
+
+    A {!t} holds one lane per schema column.  Numeric lanes are Bigarrays —
+    flat, unscanned by the GC, and buildable straight from the snapshot
+    codec's fixed-width 8-byte sections without boxing a single
+    [Value.t] — which is exactly the layout PR 7's codec chose "to keep a
+    future mmap/Bigarray path local to the codec".  The lane constructors
+    are exposed (not abstract) so {!Snapshot} can decode directly into
+    them; treat the payload arrays as read-only once published.
+
+    Lane selection is by declared type {e and} observed cells (tables do
+    not enforce declared types):
+
+    - [Ints]: every cell is [Value.Int] — the kernels' fast lane
+      ([Bigarray.int]: 63-bit like OCaml ints, so reads never box, unlike
+      an [int64] element kind);
+    - [Floats]: every cell is [Value.Float];
+    - [Nums]: nullable/mixed numerics — a tag byte per row plus the cell's
+      8-byte pattern ([Int64.bits_of_float] for floats, so NaN payloads
+      survive exactly);
+    - [Strs]: nullable strings, interned into a pool with per-row ids;
+    - [Boxed]: anything irregular (e.g. numeric cells in a declared-Str
+      column) — plain [Value.t array] fallback. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i64s = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type lane =
+  | Ints of ints
+  | Floats of floats
+  | Nums of { tags : Bytes.t; bits : i64s }
+      (** [tags]: 0 = null, 1 = int ([bits] holds the value), 2 = float
+          ([bits] holds [Int64.bits_of_float]) — the snapshot codec's cell
+          tags. *)
+  | Strs of { ids : int array; pool : string array }  (** id [-1] = null *)
+  | Boxed of Value.t array
+
+type t
+
+(** [make ~rows lanes]. @raise Invalid_argument on a lane length
+    mismatch. *)
+val make : rows:int -> lane array -> t
+
+val rows : t -> int
+
+val arity : t -> int
+
+(** [lane t ci]. *)
+val lane : t -> int -> lane
+
+(** [ints lane] when the lane is the all-int fast kind. *)
+val ints : lane -> ints option
+
+(** [lane_value lane r] boxes one cell. *)
+val lane_value : lane -> int -> Value.t
+
+(** [value t ci r] boxes one cell. *)
+val value : t -> int -> int -> Value.t
+
+(** [tuple t r] boxes one row. *)
+val tuple : t -> int -> Tuple.t
+
+(** [to_rows t] boxes everything — the demotion path back to row storage. *)
+val to_rows : t -> Tuple.t array
+
+(** [add_row_string buf t r] renders row [r] byte-identically to
+    [Tuple.to_string] of the boxed row, without boxing it —
+    [Engine.fingerprint] over a freshly loaded engine stays zero-copy. *)
+val add_row_string : Buffer.t -> t -> int -> unit
+
+(** [byte_size t] equals the sum of [Tuple.width] over the boxed rows. *)
+val byte_size : t -> int
+
+(** [of_values ty cells] classifies one column of boxed cells into the
+    tightest lane (see the type's documentation for the rules). *)
+val of_values : Schema.ty -> Value.t array -> lane

@@ -18,10 +18,13 @@ let filter pred (it : Iterator.t) =
 
 let project (it : Iterator.t) ~cols =
   let schema = Schema.project it.Iterator.schema cols in
+  (* Positions as a flat array, fixed here once: the per-tuple hot path
+     below never walks (or allocates) list nodes. *)
+  let positions = Array.of_list cols in
   let next () =
     match it.Iterator.next () with
     | None -> None
-    | Some tuple -> Some (Tuple.project tuple cols)
+    | Some tuple -> Some (Tuple.project tuple positions)
   in
   transparent it ~schema ~next
 

@@ -8,8 +8,11 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
-let drain_into_hash (it : Iterator.t) cols =
-  let tbl = KeyTbl.create 1024 in
+let drain_into_hash ?(hint = 1024) (it : Iterator.t) cols =
+  (* [hint] is the build side's estimated cardinality (the planner passes
+     table row counts through); a right-sized table skips the rehash
+     cascade a fixed 1024 pays on large builds. *)
+  let tbl = KeyTbl.create (max 16 hint) in
   Iterator.iter
     (fun tuple _ ->
       let key = Tuple.key tuple cols in
@@ -22,53 +25,72 @@ let drain_into_hash (it : Iterator.t) cols =
     it;
   tbl
 
-let hash_join ~left ~right ~left_cols ~right_cols ?residual () =
+let hash_join ~left ~right ~left_cols ~right_cols ?residual ?build_hint () =
   let schema = Schema.concat left.Iterator.schema right.Iterator.schema in
   let table = ref (KeyTbl.create 0) in
-  let pending = ref [] in
+  (* Cursor over the current outer tuple's bucket: matches are pulled one
+     at a time straight off the Dyn, instead of materializing a reversed
+     list per probe. *)
+  let cur_outer = ref None in
+  let bucket = ref None in
+  let bucket_pos = ref 0 in
   let rec next () =
-    match !pending with
-    | tuple :: rest ->
-        pending := rest;
-        Some tuple
-    | [] -> (
+    match (!cur_outer, !bucket) with
+    | Some outer, Some b when !bucket_pos < Topo_util.Dyn.length b ->
+        let inner = Topo_util.Dyn.get b !bucket_pos in
+        incr bucket_pos;
+        let joined = Tuple.concat outer inner in
+        (match residual with
+        | Some p when not (Expr.truthy p joined) -> next ()
+        | Some _ | None -> Some joined)
+    | _ -> (
+        cur_outer := None;
+        bucket := None;
         match left.Iterator.next () with
         | None -> None
         | Some outer ->
-            let key = Tuple.key outer left_cols in
-            (match KeyTbl.find_opt !table key with
+            (match KeyTbl.find_opt !table (Tuple.key outer left_cols) with
             | None -> ()
-            | Some bucket ->
-                let matches =
-                  Topo_util.Dyn.fold
-                    (fun acc inner ->
-                      let joined = Tuple.concat outer inner in
-                      match residual with
-                      | Some p when not (Expr.truthy p joined) -> acc
-                      | Some _ | None -> joined :: acc)
-                    [] bucket
-                in
-                pending := List.rev matches);
+            | Some b ->
+                cur_outer := Some outer;
+                bucket := Some b;
+                bucket_pos := 0);
             next ())
   in
   Iterator.ungrouped ~schema
     ~open_:(fun () ->
-      table := drain_into_hash right right_cols;
-      pending := [];
+      table := drain_into_hash ?hint:build_hint right right_cols;
+      cur_outer := None;
+      bucket := None;
       left.Iterator.open_ ())
     ~next
     ~close:(fun () -> left.Iterator.close ())
 
 let index_nl_join ~left ~table ~table_cols ~left_cols ?pred ?residual () =
   let schema = Schema.concat left.Iterator.schema (Table.schema table) in
-  let pending = ref [] in
   let idx = ref None in
+  (* Same cursor discipline as [hash_join]: walk the probed bucket lazily
+     via [Index.probe_bucket] instead of filtering a materialized match
+     list per outer row. *)
+  let cur_outer = ref None in
+  let bucket_n = ref 0 in
+  let bucket_get = ref (fun (_ : int) -> 0) in
+  let bucket_pos = ref 0 in
   let rec next () =
-    match !pending with
-    | tuple :: rest ->
-        pending := rest;
-        Some tuple
-    | [] -> (
+    match !cur_outer with
+    | Some outer when !bucket_pos < !bucket_n ->
+        let rowno = !bucket_get !bucket_pos in
+        incr bucket_pos;
+        let inner = Table.get table rowno in
+        (match pred with
+        | Some p when not (Expr.truthy p inner) -> next ()
+        | Some _ | None -> (
+            let joined = Tuple.concat outer inner in
+            match residual with
+            | Some r when not (Expr.truthy r joined) -> next ()
+            | Some _ | None -> Some joined))
+    | Some _ | None -> (
+        cur_outer := None;
         match left.Iterator.next () with
         | None -> None
         | Some outer ->
@@ -81,26 +103,18 @@ let index_nl_join ~left ~table ~table_cols ~left_cols ?pred ?residual () =
                   i
             in
             Iterator.Counters.add_probes 1;
-            let key = Tuple.key outer left_cols in
-            let matches =
-              List.filter_map
-                (fun rowno ->
-                  let inner = Table.get table rowno in
-                  match pred with
-                  | Some p when not (Expr.truthy p inner) -> None
-                  | Some _ | None -> (
-                      let joined = Tuple.concat outer inner in
-                      match residual with
-                      | Some r when not (Expr.truthy r joined) -> None
-                      | Some _ | None -> Some joined))
-                (Index.probe index key)
-            in
-            pending := matches;
+            let n, get = Index.probe_bucket index (Tuple.key outer left_cols) in
+            cur_outer := Some outer;
+            bucket_n := n;
+            bucket_get := get;
+            bucket_pos := 0;
             next ())
   in
   Iterator.ungrouped ~schema
     ~open_:(fun () ->
-      pending := [];
+      cur_outer := None;
+      bucket_n := 0;
+      bucket_pos := 0;
       left.Iterator.open_ ())
     ~next
     ~close:(fun () -> left.Iterator.close ())

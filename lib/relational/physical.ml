@@ -118,8 +118,65 @@ let children = function
   | Union (a, b) -> [ a; b ]
   | IndexNL { left; _ } | Idgj { left; _ } | Hdgj { left; _ } -> [ left ]
 
-let rec lower_with ~wrap catalog plan =
-  let lower catalog plan = lower_with ~wrap catalog plan in
+(* ------------------------------------------------------------------ *)
+(* Columnar kernel applicability                                       *)
+
+type kernel = Kernel_scan_hash_join | Kernel_hash_join | Kernel_index_nl | Kernel_idgj
+
+let kernel_name = function
+  | Kernel_scan_hash_join -> "scan+hash-join"
+  | Kernel_hash_join -> "hash-join"
+  | Kernel_index_nl -> "index-nl-join"
+  | Kernel_idgj -> "idgj"
+
+(* Static eligibility: single-column equi-keys whose declared type is int on
+   both sides.  Declared types are a promise tables do not enforce, so the
+   lowering re-checks the actual lanes at runtime and falls back to the
+   generic operator when a cell broke the promise — [kernel_site] only
+   decides where a kernel is {e worth attempting}. *)
+let kernel_site catalog plan =
+  let int_col node i =
+    match (Schema.column (schema catalog node) i).Schema.ty with
+    | Schema.TInt -> true
+    | Schema.TFloat | Schema.TStr -> false
+  in
+  let int_table_col table tc =
+    let ts = Table.schema (Catalog.find catalog table) in
+    match (Schema.column ts (Schema.index_of ts tc)).Schema.ty with
+    | Schema.TInt -> true
+    | Schema.TFloat | Schema.TStr -> false
+  in
+  try
+    match plan with
+    | HashJoin { left; right; left_cols = [| lc |]; right_cols = [| rc |]; _ } ->
+        if int_col left lc && int_col right rc then
+          Some
+            (match left with
+            | Scan { pred = None; _ } -> Kernel_scan_hash_join
+            | _ -> Kernel_hash_join)
+        else None
+    | IndexNL { left; table; table_cols = [ tc ]; left_cols = [| lc |]; _ } ->
+        if int_col left lc && int_table_col table tc then Some Kernel_index_nl else None
+    | Idgj { left; table; table_cols = [ tc ]; left_cols = [| lc |]; _ } ->
+        if int_col left lc && int_table_col table tc then Some Kernel_idgj else None
+    | _ -> None
+  with Not_found | Invalid_argument _ -> None
+
+(* Build-side cardinality estimate for pre-sizing hash tables.  Conservative
+   and purely structural: only shapes whose output count is knowable without
+   statistics. *)
+let rec estimate_rows catalog = function
+  | Scan { table; _ } | OrderedScan { table; _ } ->
+      Option.map Table.row_count (Catalog.find_opt catalog table)
+  | Filter { input; _ } | Sort { input; _ } -> estimate_rows catalog input
+  | Project { input; _ } | Compute { input; _ } -> estimate_rows catalog input
+  | Distinct input -> estimate_rows catalog input
+  | Limit (n, input) -> (
+      match estimate_rows catalog input with Some m -> Some (min n m) | None -> Some n)
+  | _ -> None
+
+let rec lower_with ?(fuse = true) ~wrap catalog plan =
+  let lower catalog plan = lower_with ~fuse ~wrap catalog plan in
   wrap plan
   @@
   match plan with
@@ -135,20 +192,77 @@ let rec lower_with ~wrap catalog plan =
       relabel catalog plan it alias table
   | Filter { input; pred } -> Op_basic.filter pred (lower catalog input)
   | Project { input; cols } -> Op_basic.project (lower catalog input) ~cols
-  | HashJoin { left; right; left_cols; right_cols; residual } ->
-      Op_join.hash_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols
-        ?residual ()
+  | HashJoin { left; right; left_cols; right_cols; residual } -> (
+      let generic () =
+        Op_join.hash_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols
+          ~right_cols ?residual
+          ?build_hint:(estimate_rows catalog right) ()
+      in
+      if not (Op_kernel.kernels_on ()) then generic ()
+      else
+        match kernel_site catalog plan with
+        | Some (Kernel_scan_hash_join | Kernel_hash_join) ->
+            let probe_col = left_cols.(0) and build_col = right_cols.(0) in
+            let probe =
+              (* Fusing elides the probe-side Scan node entirely, which the
+                 wrapping lowerings (checked/instrumented) cannot observe —
+                 they need every node's own iterator, so they get the
+                 unfused probe (same results, same counters). *)
+              match left with
+              | Scan { table; pred = None; alias = _ } when fuse -> (
+                  let tb = Catalog.find catalog table in
+                  match Table.int_lane tb probe_col with
+                  | Some lane -> Op_kernel.Probe_lane { table = tb; lane }
+                  | None -> Op_kernel.Probe_iter (lower catalog left))
+              | _ -> Op_kernel.Probe_iter (lower catalog left)
+            in
+            let build =
+              match right with
+              | Scan { table; pred; alias = _ } when fuse ->
+                  Op_kernel.Build_table { table = Catalog.find catalog table; col = build_col; pred }
+              | _ ->
+                  Op_kernel.Build_iter
+                    {
+                      it = lower catalog right;
+                      col = build_col;
+                      hint = Option.value ~default:1024 (estimate_rows catalog right);
+                    }
+            in
+            Op_kernel.hash_join ~schema:(schema catalog plan) ~probe ~probe_col ~build ?residual ()
+        | Some (Kernel_index_nl | Kernel_idgj) | None -> generic ())
   | MergeJoin { left; right; left_cols; right_cols; residual } ->
       Op_join.merge_join ~left:(lower catalog left) ~right:(lower catalog right) ~left_cols ~right_cols
         ?residual ()
   | NLJoin { left; right; residual } ->
       Op_join.nl_join ~left:(lower catalog left) ~right:(lower catalog right) ?residual ()
-  | IndexNL { left; table; alias = _; table_cols; left_cols; pred; residual } ->
-      Op_join.index_nl_join ~left:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols
-        ~left_cols ?pred ?residual ()
+  | IndexNL { left; table; alias = _; table_cols; left_cols; pred; residual } -> (
+      let tb = Catalog.find catalog table in
+      let generic () =
+        Op_join.index_nl_join ~left:(lower catalog left) ~table:tb ~table_cols ~left_cols ?pred
+          ?residual ()
+      in
+      if not (Op_kernel.kernels_on ()) then generic ()
+      else
+        match kernel_site catalog plan with
+        | Some Kernel_index_nl -> (
+            let ti = Schema.index_of (Table.schema tb) (List.hd table_cols) in
+            match Table.int_index tb ti with
+            | Some itbl ->
+                let lit = lower catalog left in
+                Op_kernel.index_nl_join_int
+                  ~schema:(Schema.concat lit.Iterator.schema (Table.schema tb))
+                  ~left:lit ~table:tb ~itbl ~left_col:left_cols.(0) ?pred ?residual ()
+            | None -> generic ())
+        | _ -> generic ())
   | Idgj { left; table; alias = _; table_cols; left_cols; pred; residual } ->
-      Op_dgj.idgj ~outer:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols ~outer_cols:left_cols
-        ?pred ?residual ()
+      let tb = Catalog.find catalog table in
+      let int_probe =
+        if Op_kernel.kernels_on () && kernel_site catalog plan = Some Kernel_idgj then
+          Table.int_index tb (Schema.index_of (Table.schema tb) (List.hd table_cols))
+        else None
+      in
+      Op_dgj.idgj ~outer:(lower catalog left) ~table:tb ~table_cols ~outer_cols:left_cols
+        ?pred ?residual ?int_probe ()
   | Hdgj { left; table; alias = _; table_cols; left_cols; pred; residual } ->
       Op_dgj.hdgj ~outer:(lower catalog left) ~table:(Catalog.find catalog table) ~table_cols ~outer_cols:left_cols
         ?pred ?residual ()
@@ -195,7 +309,9 @@ and relabel catalog plan it alias table =
 let lower catalog plan = lower_with ~wrap:(fun _ it -> it) catalog plan
 
 let lower_checked catalog plan =
-  lower_with ~wrap:(fun node it -> Iterator_check.wrap ~name:(node_label node) it) catalog plan
+  lower_with ~fuse:false
+    ~wrap:(fun node it -> Iterator_check.wrap ~name:(node_label node) it)
+    catalog plan
 
 let lower_instrumented catalog plan =
   (* [lower_with] invokes [wrap] once per plan node with that node's own
@@ -207,7 +323,7 @@ let lower_instrumented catalog plan =
     collected := (node, stats) :: !collected;
     Op_stats.wrap stats it
   in
-  let it = lower_with ~wrap catalog plan in
+  let it = lower_with ~fuse:false ~wrap catalog plan in
   let stats_of node =
     match List.find_opt (fun (n, _) -> n == node) !collected with
     | Some (_, s) -> s

@@ -80,6 +80,27 @@ val node_label : t -> string
     (scans and probes) have none. *)
 val children : t -> t list
 
+(** Which int-specialized kernel ({!Op_kernel}) a node is eligible for:
+    [Kernel_scan_hash_join] fuses a predicate-free scan probe into the
+    join. *)
+type kernel = Kernel_scan_hash_join | Kernel_hash_join | Kernel_index_nl | Kernel_idgj
+
+val kernel_name : kernel -> string
+
+(** [kernel_site catalog plan] is the root node's static kernel
+    eligibility: single-column equi-join keys, declared int on both sides.
+    The lowering re-checks the actual lanes at runtime and falls back to
+    the generic operator when the declared type was a lie, so a [Some]
+    here promises identical results either way, not that the kernel runs.
+    {!Plan_check.verify} cross-checks its own inference against this. *)
+val kernel_site : Catalog.t -> t -> kernel option
+
+(** [estimate_rows catalog plan] is a structural output-cardinality bound
+    (scan row counts through order/limit-preserving shapes), used to
+    pre-size join hash tables.  [None] when the shape admits no cheap
+    bound. *)
+val estimate_rows : Catalog.t -> t -> int option
+
 (** [lower catalog plan] builds the iterator tree. *)
 val lower : Catalog.t -> t -> Iterator.t
 

@@ -13,6 +13,7 @@ type kind =
   | Union_arity_mismatch of { left : int; right : int }
   | Negative_limit of int
   | Duplicate_columns of string
+  | Kernel_disagreement of { checker : string option; lowering : string option }
 
 type violation = { path : string list; node : string; kind : kind }
 
@@ -67,6 +68,10 @@ let kind_to_string = function
       Printf.sprintf "UNION of arity %d with arity %d" left right
   | Negative_limit n -> Printf.sprintf "negative LIMIT %d" n
   | Duplicate_columns msg -> "duplicate output columns: " ^ msg
+  | Kernel_disagreement { checker; lowering } ->
+      let opt = function Some k -> k | None -> "(none)" in
+      Printf.sprintf "kernel eligibility drift: checker infers %s, lowering infers %s"
+        (opt checker) (opt lowering)
 
 let violation_to_string v =
   Printf.sprintf "%s at /%s: %s" v.node (String.concat "/" v.path) (kind_to_string v.kind)
@@ -228,6 +233,25 @@ let verify catalog plan =
     end
   in
   let guarded_schema f = match f () with s -> Some s | exception Invalid_argument _ -> None in
+  (* Independent re-derivation of kernel eligibility, compared against the
+     lowering's {!Physical.kernel_site}.  The two must always agree; a
+     mismatch means one of them drifted and the kernels could silently run
+     (or not run) where the other layer believes otherwise. *)
+  let check_kernel rpath node checker plan =
+    let lowering = Physical.kernel_site catalog plan in
+    if checker <> lowering then
+      record rpath node
+        (Kernel_disagreement
+           {
+             checker = Option.map Physical.kernel_name checker;
+             lowering = Option.map Physical.kernel_name lowering;
+           })
+  in
+  let col_ty schema pos =
+    match schema with
+    | Some s when pos >= 0 && pos < Schema.arity s -> Some (Schema.column s pos).Schema.ty
+    | _ -> None
+  in
   (* Bottom-up walk; returns the node's output schema (None when it cannot
      be derived) and its property-lattice value. *)
   let rec go rpath plan : Schema.t option * props =
@@ -319,6 +343,19 @@ let verify catalog plan =
         let lschema, lprops = sub "left" left in
         let rschema, _ = sub "right" right in
         check_key_pair rpath node ~lschema ~rschema ~left_cols ~right_cols;
+        let checker =
+          match (left_cols, right_cols) with
+          | [| lc |], [| rc |] -> (
+              match (col_ty lschema lc, col_ty rschema rc) with
+              | Some Schema.TInt, Some Schema.TInt ->
+                  Some
+                    (match left with
+                    | Physical.Scan { pred = None; _ } -> Physical.Kernel_scan_hash_join
+                    | _ -> Physical.Kernel_hash_join)
+              | _ -> None)
+          | _ -> None
+        in
+        check_kernel rpath node checker plan;
         let schema =
           match (lschema, rschema) with
           | Some a, Some b -> guarded_schema (fun () -> Schema.concat a b)
@@ -402,6 +439,20 @@ let verify catalog plan =
               tys
         | _ -> ());
         check_opt_expr rpath node ~what:"join residual" schema residual;
+        let checker =
+          match plan with
+          | Physical.Hdgj _ -> None
+          | _ -> (
+              match (table_cols, inner_types) with
+              | [ _ ], Some [ Schema.TInt ]
+                when Array.length left_cols = 1 && lt.(0) = Some Schema.TInt ->
+                  Some
+                    (match plan with
+                    | Physical.IndexNL _ -> Physical.Kernel_index_nl
+                    | _ -> Physical.Kernel_idgj)
+              | _ -> None)
+        in
+        check_kernel rpath node checker plan;
         if is_dgj && not lprops.grouped then record rpath node Not_grouped;
         (* Nested loops preserve the outer order; DGJ operators additionally
            preserve groups (Section 5.3 property (a)). *)
@@ -548,6 +599,23 @@ let verify catalog plan =
 
 let check catalog plan =
   match verify catalog plan with [] -> () | vs -> raise (Plan_error vs)
+
+let kernel_sites catalog plan =
+  let out = ref [] in
+  let rec go rpath node =
+    (match Physical.kernel_site catalog node with
+    | Some k -> out := (List.rev rpath, Physical.kernel_name k) :: !out
+    | None -> ());
+    match Physical.children node with
+    | [] -> ()
+    | [ input ] -> go ("input" :: rpath) input
+    | [ left; right ] ->
+        go ("left" :: rpath) left;
+        go ("right" :: rpath) right
+    | many -> List.iteri (fun i c -> go (string_of_int i :: rpath) c) many
+  in
+  go [] plan;
+  List.rev !out
 
 let properties catalog plan =
   (* Re-run the walk and keep only the root's lattice value; violations are

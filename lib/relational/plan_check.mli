@@ -51,6 +51,10 @@ type kind =
   | Union_arity_mismatch of { left : int; right : int }
   | Negative_limit of int
   | Duplicate_columns of string  (** output schema has colliding names *)
+  | Kernel_disagreement of { checker : string option; lowering : string option }
+      (** the checker's independent kernel-eligibility inference and the
+          lowering's {!Physical.kernel_site} disagree — one of the two
+          layers drifted ([None] rendered as ["(none)"]) *)
 
 type violation = {
   path : string list;
@@ -81,6 +85,12 @@ val check : Catalog.t -> Physical.t -> unit
     element [{ ordering = []; grouped = false }]).  Exposed for tests and
     for explain-style tooling. *)
 val properties : Catalog.t -> Physical.t -> props
+
+(** [kernel_sites catalog plan] lists every node eligible for an
+    int-specialized kernel, as (path from the root, kernel name) pairs in
+    tree order — the EXPLAIN-side view of what {!Physical.lower} will
+    specialize. *)
+val kernel_sites : Catalog.t -> Physical.t -> (string list * string) list
 
 (** [kind_to_string kind]. *)
 val kind_to_string : kind -> string

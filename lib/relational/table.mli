@@ -4,13 +4,29 @@
     number of named secondary indexes.  Insertion freezes no state: indexes
     built before later insertions are invalidated and rebuilt lazily, which
     matches the paper's bulk-load-then-query lifecycle ("updates are only
-    done in bulk every few weeks"). *)
+    done in bulk every few weeks").
+
+    Storage comes in two flavors.  Row-built tables ({!create} + {!insert})
+    keep a [Tuple.t] dynamic array, as before.  Columnar-backed tables
+    ({!of_columns}) are created straight from typed {!Column} lanes — the
+    snapshot load path — and box rows only on demand: primary-key hashes,
+    row snapshots and secondary indexes all fill lazily.  Either flavor
+    exposes the same API, and either can serve the columnar views
+    ({!lane}, {!int_lane}, {!int_index}) the execution kernels probe;
+    row-built tables derive their lanes lazily from the row snapshot.  An
+    insert into a columnar-backed table demotes it to row storage first. *)
 
 type t
 
 (** [create ~name ~schema ?primary_key ()] makes an empty table.
     [primary_key] names a column; inserts enforce uniqueness on it. *)
 val create : name:string -> schema:Schema.t -> ?primary_key:string -> unit -> t
+
+(** [of_columns ~name ~schema ?primary_key columns] makes a table whose
+    storage {e is} [columns] — no per-cell boxing.  Primary-key uniqueness
+    is checked on the first probe, not here.
+    @raise Invalid_argument on arity mismatch or unknown primary key. *)
+val of_columns : name:string -> schema:Schema.t -> ?primary_key:string -> Column.t -> t
 
 (** [name t]. *)
 val name : t -> string
@@ -41,9 +57,17 @@ val rows : t -> Tuple.t array
 (** [iter f t] applies [f rowno tuple] in physical order. *)
 val iter : (int -> Tuple.t -> unit) -> t -> unit
 
+(** [iter_row_strings f t] applies [f] to each row rendered as
+    [Tuple.to_string] would, in physical order — but without boxing rows
+    when the table is columnar-backed and unmaterialized.  This keeps
+    [Engine.fingerprint] zero-copy on a freshly loaded engine. *)
+val iter_row_strings : (string -> unit) -> t -> unit
+
 (** [find_by_pk t key] fetches the unique row whose primary-key column
-    equals [key], using the primary-key hash index.
-    @raise Invalid_argument if the table has no primary key. *)
+    equals [key], using the primary-key hash index (filled lazily on
+    columnar-backed tables).
+    @raise Invalid_argument if the table has no primary key, or on the
+    first probe of a columnar backing containing duplicate keys. *)
 val find_by_pk : t -> Value.t -> Tuple.t option
 
 (** [primary_key t] is the primary-key column name, if any. *)
@@ -56,11 +80,34 @@ val primary_key : t -> string option
     this freely on a frozen table. *)
 val ensure_index : t -> kind:Index.kind -> cols:string list -> Index.t
 
-(** [index_specs t] is the [(kind, column names)] of every index currently
-    cached, oldest first — enough to rebuild the indexes cheaply via
+(** [declare_index t ~kind ~cols] records an index spec without building
+    its payload — the snapshot load path's lazy replacement for an eager
+    {!ensure_index}.  The spec appears in {!index_specs} immediately; the
+    payload fills on the first {!ensure_index} probe.
+    @raise Invalid_argument on an unknown column name. *)
+val declare_index : t -> kind:Index.kind -> cols:string list -> unit
+
+(** [index_specs t] is the [(kind, column names)] of every index declared
+    or built, oldest first — enough to rebuild the indexes cheaply via
     {!ensure_index}.  Snapshots persist these specs instead of index
     payloads. *)
 val index_specs : t -> (Index.kind * string list) list
+
+(** [lane t ci] is the typed columnar lane of column [ci]: the backing lane
+    of a columnar table, or one derived (and cached) from the row snapshot.
+    Never [None] in practice; the option mirrors the other columnar
+    views. *)
+val lane : t -> int -> Column.lane option
+
+(** [int_lane t ci] is column [ci]'s lane when every cell is [Value.Int] —
+    the precondition for the int-specialized kernels. *)
+val int_lane : t -> int -> Column.ints option
+
+(** [int_index t ci] is a cached int-keyed hash multimap from column [ci]'s
+    values to row numbers (chains in row order), or [None] when the lane is
+    not all-int.  The kernels' allocation-free replacement for a
+    [Index.Hash] index on one int column. *)
+val int_index : t -> int -> Int_table.t option
 
 (** [byte_size t] is the estimated storage size: sum of row widths.  This is
     the quantity reported in Table 1. *)

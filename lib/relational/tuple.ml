@@ -4,7 +4,7 @@ let get t i = t.(i)
 
 let concat = Array.append
 
-let project t indices = Array.of_list (List.map (fun i -> t.(i)) indices)
+let project t indices = Array.map (fun i -> t.(i)) indices
 
 let key t indices = Array.map (fun i -> t.(i)) indices
 

@@ -8,8 +8,10 @@ val get : t -> int -> Value.t
 (** [concat a b] is the join of two tuples. *)
 val concat : t -> t -> t
 
-(** [project t indices] keeps the listed positions in order. *)
-val project : t -> int list -> t
+(** [project t indices] keeps the listed positions in order.  Positions are
+    an array so per-tuple projection on the hot path allocates no list
+    nodes; operators precompute it once at open time. *)
+val project : t -> int array -> t
 
 (** [key t indices] extracts the listed positions as a comparable key. *)
 val key : t -> int array -> Value.t array

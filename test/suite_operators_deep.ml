@@ -78,7 +78,13 @@ let gap_stack cat impl =
   let g = Catalog.find cat "G" in
   let grouped = Op_scan.grouped_by_tuple (Op_scan.ordered g ~desc:true ~cols:[ "score" ]) in
   let pred = Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (v_int 1)) in
-  let mk = match impl with `I -> Op_dgj.idgj | `H -> Op_dgj.hdgj in
+  let mk =
+    match impl with
+    | `I ->
+        fun ~outer ~table ~table_cols ~outer_cols ?pred ?residual () ->
+          Op_dgj.idgj ~outer ~table ~table_cols ~outer_cols ?pred ?residual ()
+    | `H -> Op_dgj.hdgj
+  in
   mk ~outer:grouped ~table:(Catalog.find cat "F") ~table_cols:[ "TID" ] ~outer_cols:[| 0 |] ~pred ()
 
 let test_dgj_skips_empty_and_failing_groups impl () =

@@ -285,7 +285,7 @@ let test_value_extraction_errors () =
 let test_tuple_helpers () =
   let t = [| v_int 1; v_str "a"; v_int 3 |] in
   Alcotest.(check bool) "project" true
-    (Tuple.equal (Tuple.project t [ 2; 0 ]) [| v_int 3; v_int 1 |]);
+    (Tuple.equal (Tuple.project t [| 2; 0 |]) [| v_int 3; v_int 1 |]);
   Alcotest.(check bool) "concat" true
     (Tuple.equal (Tuple.concat t [| v_int 9 |]) [| v_int 1; v_str "a"; v_int 3; v_int 9 |]);
   Alcotest.(check int) "compare_at equal" 0 (Tuple.compare_at [| 0; 2 |] t t);
@@ -343,7 +343,9 @@ let dgj_stack cat ~impl =
   let pred = Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (v_str "yes")) in
   let mk =
     match impl with
-    | `I -> Op_dgj.idgj
+    | `I ->
+        fun ~outer ~table ~table_cols ~outer_cols ?pred ?residual () ->
+          Op_dgj.idgj ~outer ~table ~table_cols ~outer_cols ?pred ?residual ()
     | `H -> Op_dgj.hdgj
   in
   mk ~outer:fact ~table:(Catalog.find cat "D") ~table_cols:[ "ID" ] ~outer_cols:[| 3 |] ~pred ()
