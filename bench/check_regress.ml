@@ -32,14 +32,38 @@
      fingerprints bit-identically with the int-specialized execution
      kernels on and off) and a join-microbenchmark speedup of at least
      KERNELS_MIN_SPEEDUP (default 1.3).  CI at smoke scale sets a lower
-     floor — small tables under-state the per-probe savings.
+     floor — small tables under-state the per-probe savings;
+   - every rate point of the latency experiment reports zero failed
+     requests and satisfies admitted + rejected_overload = offered and
+     completed + partial + expired + failed = admitted, and the p99
+     latency of the lowest (uncongested) rate point is at most
+     LATENCY_MAX_P99_MS (default 5000 — a gross-regression backstop,
+     not an SLA; CI smoke sets its own value).  An empty histogram
+     (no answered requests at a point) skips the percentile gate as
+     unmeasurable rather than reading null as zero.
+
+   Every gate's disposition is printed in a final summary —
+   `enforced`, `skipped: clamped` or `skipped: unmeasurable` — so a CI
+   log always shows which thresholds actually protected the run.
 
    Usage: dune exec bench/check_regress.exe
-            [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json]]] *)
+            [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json [LATENCY.json]]]] *)
 
 module Json = Topo_obs.Json
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+(* Per-gate dispositions for the final transparency summary.  A gate that
+   [fail]s never reaches the summary — the process has already exited —
+   so every recorded entry is either enforced (and passed) or skipped
+   with its reason. *)
+let gates : (string * string) list ref = ref []
+
+let gate name status = gates := (name, status) :: !gates
+
+let print_gate_summary () =
+  print_endline "\ngate summary:";
+  List.iter (fun (name, status) -> Printf.printf "  %-28s %s\n" name status) (List.rev !gates)
 
 let read_json path =
   match open_in path with
@@ -97,23 +121,30 @@ let env_floor name default =
   | None -> default
 
 let () =
-  let parallel_path, serve_path, snapshot_path, kernels_path =
+  let parallel_path, serve_path, snapshot_path, kernels_path, latency_path =
     match Sys.argv with
-    | [| _ |] -> ("BENCH_PARALLEL.json", "BENCH_SERVE.json", "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json")
-    | [| _; p; s |] -> (p, s, "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json")
-    | [| _; p; s; n |] -> (p, s, n, "BENCH_KERNELS.json")
-    | [| _; p; s; n; k |] -> (p, s, n, k)
+    | [| _ |] ->
+        ( "BENCH_PARALLEL.json", "BENCH_SERVE.json", "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json",
+          "BENCH_LATENCY.json" )
+    | [| _; p; s |] -> (p, s, "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json", "BENCH_LATENCY.json")
+    | [| _; p; s; n |] -> (p, s, n, "BENCH_KERNELS.json", "BENCH_LATENCY.json")
+    | [| _; p; s; n; k |] -> (p, s, n, k, "BENCH_LATENCY.json")
+    | [| _; p; s; n; k; l |] -> (p, s, n, k, l)
     | _ ->
         prerr_endline
-          "usage: check_regress [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json]]]";
+          "usage: check_regress [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json \
+           [LATENCY.json]]]]";
         exit 2
   in
   let parallel = read_json parallel_path in
   let serve = read_json serve_path in
   check_identical parallel_path parallel;
+  gate "parallel.identical" "enforced";
   check_identical serve_path serve;
+  gate "serve.identical" "enforced";
   let errors = sweep_field serve_path serve ~jobs:1 "errors" in
   if errors <> 0.0 then fail "%s: serve reported %g per-query errors" serve_path errors;
+  gate "serve.zero_errors" "enforced";
   let cache = get serve_path serve "cache" in
   if not (as_bool serve_path "cache.identical" (get serve_path cache "identical")) then
     fail "%s: cached serve output differs from the uncached run (cache.identical=false)" serve_path;
@@ -122,6 +153,7 @@ let () =
     fail "%s: warm pass had zero cache hits (warm_hit_rate=%g)" serve_path warm_hit_rate;
   Printf.printf "ok: %s cached output identical to uncached, warm hit rate %.0f%%\n" serve_path
     (100.0 *. warm_hit_rate);
+  gate "serve.cache_transparent" "enforced";
   (match
      (sweep_field_opt serve_path serve ~jobs:1 "qps", sweep_field_opt serve_path serve ~jobs:4 "qps")
    with
@@ -132,13 +164,16 @@ let () =
       if qps4 < min_ratio *. qps1 then
         fail "serve throughput regressed: jobs=4 (%.1f qps) < %.2f x jobs=1 (%.1f qps)" qps4
           min_ratio qps1;
-      print_endline "ok: serve jobs=4 throughput at or above the jobs=1 floor"
+      print_endline "ok: serve jobs=4 throughput at or above the jobs=1 floor";
+      gate "serve.throughput_floor" "enforced"
   | _ when clamped serve_path serve ->
-      print_endline "skip: serve jobs sweep clamped (single-core runner), no speedup to gate"
+      print_endline "skip: serve jobs sweep clamped (single-core runner), no speedup to gate";
+      gate "serve.throughput_floor" "skipped: clamped"
   | _ ->
       (* Not clamped, yet a point is missing or unmeasurable: only clock
          resolution explains that, and it is not a throughput regression. *)
-      print_endline "skip: serve throughput below clock resolution, gate not applicable");
+      print_endline "skip: serve throughput below clock resolution, gate not applicable";
+      gate "serve.throughput_floor" "skipped: unmeasurable");
   (* Snapshot cold-start gate: correctness is unconditional, the speedup
      floor only needs a measurable load time. *)
   let snapshot = read_json snapshot_path in
@@ -147,16 +182,19 @@ let () =
   if not (as_bool snapshot_path "serve_identical" (get snapshot_path snapshot "serve_identical"))
   then fail "%s: serve batch over the loaded engine differs from the in-process build" snapshot_path;
   Printf.printf "ok: %s loaded engine bit-identical to in-process build\n" snapshot_path;
+  gate "snapshot.identical" "enforced";
   (match Json.member "speedup" snapshot with
   | Some (Json.Num speedup) ->
       let floor = env_floor "SNAPSHOT_MIN_SPEEDUP" 10.0 in
       Printf.printf "snapshot cold start: %.1fx faster than rebuild (floor %.1fx)\n" speedup floor;
       if speedup < floor then
-        fail "snapshot cold start too slow: %.1fx < the %.1fx floor" speedup floor
+        fail "snapshot cold start too slow: %.1fx < the %.1fx floor" speedup floor;
+      gate "snapshot.speedup_floor" "enforced"
   | Some Json.Null ->
       (* Load finished under clock resolution — faster than measurable
          is above any floor. *)
-      print_endline "ok: snapshot load below clock resolution"
+      print_endline "ok: snapshot load below clock resolution";
+      gate "snapshot.speedup_floor" "skipped: unmeasurable"
   | Some _ -> fail "%s: \"speedup\" is not a number or null" snapshot_path
   | None -> fail "%s: missing field \"speedup\"" snapshot_path);
   print_endline "ok: snapshot cold start at or above the speedup floor";
@@ -168,14 +206,66 @@ let () =
   if not (as_bool kernels_path "identical" (get kernels_path kernels "identical")) then
     fail "%s: kernel execution changed the serve batch fingerprint" kernels_path;
   Printf.printf "ok: %s kernel execution bit-identical to generic operators\n" kernels_path;
+  gate "kernels.identical" "enforced";
   (match Json.member "speedup" kernels with
   | Some (Json.Num speedup) ->
       let floor = env_floor "KERNELS_MIN_SPEEDUP" 1.3 in
       Printf.printf "kernel join microbench: %.2fx faster than generic (floor %.2fx)\n" speedup
         floor;
       if speedup < floor then
-        fail "kernel speedup too small: %.2fx < the %.2fx floor" speedup floor
-  | Some Json.Null -> print_endline "ok: kernel microbench below clock resolution"
+        fail "kernel speedup too small: %.2fx < the %.2fx floor" speedup floor;
+      gate "kernels.speedup_floor" "enforced"
+  | Some Json.Null ->
+      print_endline "ok: kernel microbench below clock resolution";
+      gate "kernels.speedup_floor" "skipped: unmeasurable"
   | Some _ -> fail "%s: \"speedup\" is not a number or null" kernels_path
   | None -> fail "%s: missing field \"speedup\"" kernels_path);
-  print_endline "ok: kernel join speedup at or above the floor"
+  print_endline "ok: kernel join speedup at or above the floor";
+  (* Latency gate: per-point accounting invariants and zero failures are
+     unconditional; the p99 backstop applies to the lowest (uncongested)
+     rate point and needs a non-empty histogram to mean anything. *)
+  let latency = read_json latency_path in
+  let points =
+    match get latency_path latency "points" with
+    | Json.Arr l -> l
+    | _ -> fail "%s: points is not an array" latency_path
+  in
+  if points = [] then fail "%s: no rate points recorded" latency_path;
+  let as_int key p = int_of_float (as_num latency_path key (get latency_path p key)) in
+  List.iteri
+    (fun i p ->
+      let offered = as_int "offered" p
+      and admitted = as_int "admitted" p
+      and rejected = as_int "rejected_overload" p
+      and expired = as_int "expired" p
+      and completed = as_int "completed" p
+      and partial = as_int "partial" p
+      and failed = as_int "failed" p in
+      if failed <> 0 then fail "%s: point %d reported %d failed requests" latency_path i failed;
+      if admitted + rejected <> offered then
+        fail "%s: point %d accounting broken: admitted %d + rejected %d <> offered %d"
+          latency_path i admitted rejected offered;
+      if completed + partial + expired + failed <> admitted then
+        fail "%s: point %d accounting broken: outcomes do not add up to admitted %d" latency_path
+          i admitted)
+    points;
+  Printf.printf "ok: %s all %d rate points account for every request, zero failures\n"
+    latency_path (List.length points);
+  gate "latency.accounting" "enforced";
+  gate "latency.zero_failures" "enforced";
+  let lowest = List.hd points in
+  (match Json.member "p99_ms" (get latency_path lowest "latency") with
+  | Some (Json.Num p99) ->
+      let ceiling = env_floor "LATENCY_MAX_P99_MS" 5000.0 in
+      Printf.printf "latency p99 at the lowest rate point: %.1f ms (ceiling %.1f ms)\n" p99
+        ceiling;
+      if p99 > ceiling then
+        fail "latency regressed: p99 %.1f ms > the %.1f ms ceiling" p99 ceiling;
+      print_endline "ok: p99 latency under the ceiling";
+      gate "latency.p99_ceiling" "enforced"
+  | Some Json.Null ->
+      print_endline "skip: no answered requests at the lowest rate point, p99 unmeasurable";
+      gate "latency.p99_ceiling" "skipped: unmeasurable"
+  | Some _ -> fail "%s: \"p99_ms\" is not a number or null" latency_path
+  | None -> fail "%s: lowest point is missing \"p99_ms\"" latency_path);
+  print_gate_summary ()

@@ -35,6 +35,7 @@ let experiments =
     ("serve", Exp_serve.run);
     ("snapshot", Exp_snapshot.run);
     ("kernels", Exp_kernels.run);
+    ("latency", Exp_latency.run);
   ]
 
 let parse_args () =

@@ -212,7 +212,11 @@ let query_run scale seed l threshold t1 t2 kw1 kw2 dna_type method_ scheme k ins
      uses, one request at a time. *)
   let outcome = Engine.run_request engine (Topo_core.Request.make ~scheme ~k method_ q) in
   let r =
-    match outcome.Topo_core.Request.result with Ok r -> r | Error e -> raise e
+    match outcome.Topo_core.Request.result with
+    | Topo_core.Request.Done r | Topo_core.Request.Partial r -> r
+    | Topo_core.Request.Failed e -> raise e
+    | Topo_core.Request.Rejected rj ->
+        failwith ("request rejected: " ^ Topo_core.Request.rejection_name rj)
   in
   if instances then Topo_core.Report.print engine q r ()
   else
@@ -620,7 +624,41 @@ let default_workload catalog ~t1 ~t2 =
         [ "kinase"; "enzyme"; "" ])
     Engine.all_methods
 
-let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces check use_cache cache_size =
+(* Open-loop serving behind `serve --rate`: arrivals uniformly spaced at
+   the offered rate, bounded admission queue, per-request wall deadlines,
+   latency percentiles from the intended-start (coordinated-omission
+   corrected) Hdr histogram. *)
+let serve_open engine ~jobs ~traces ~cache ~max_queue ~deadline_s ~rate requests =
+  let n = List.length requests in
+  let arrivals =
+    List.mapi (fun i rq -> { Serve.at = float_of_int i /. rate; arrival_request = rq }) requests
+  in
+  let timed, stats = Serve.run_open ?jobs ~max_queue ?deadline_s ~traces ?cache engine arrivals in
+  let hdr = Topo_util.Hdr.create () in
+  List.iter
+    (fun (t : Serve.timed) ->
+      match t.Serve.timed_outcome.Serve.result with
+      | Topo_core.Request.Done _ | Topo_core.Request.Partial _ ->
+          Topo_util.Hdr.record hdr (int_of_float (t.Serve.latency_s *. 1e9))
+      | Topo_core.Request.Rejected _ | Topo_core.Request.Failed _ -> ())
+    timed;
+  Printf.printf "open loop: offered %d request(s) at %.1f/s target, queue bound %d, %d worker(s)\n"
+    n rate max_queue stats.Serve.open_jobs;
+  Printf.printf
+    "  admitted %d + rejected %d = offered %d; done %d, partial %d, expired %d, failed %d\n"
+    stats.Serve.admitted stats.Serve.rejected_overload stats.Serve.offered stats.Serve.completed
+    stats.Serve.partial stats.Serve.expired stats.Serve.failed;
+  let pct q = float_of_int (Topo_util.Hdr.quantile hdr q) /. 1e6 in
+  if Topo_util.Hdr.count hdr > 0 then
+    Printf.printf "  latency (intended-start): p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n"
+      (pct 0.5) (pct 0.95) (pct 0.99)
+      (float_of_int (Topo_util.Hdr.max_value hdr) /. 1e6);
+  (match stats.Serve.achieved_rate with
+  | Some r -> Printf.printf "  achieved %.1f answered/s over %.3fs\n" r stats.Serve.wall_s
+  | None -> ());
+  if stats.Serve.failed > 0 then 1 else 0
+
+let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces check use_cache cache_size deadline_ms max_queue rate =
   let engine = engine_of ~snapshot ~scale ~seed ~l ~threshold ~t1 ~t2 in
   let catalog = engine.Engine.ctx.Topo_core.Context.catalog in
   let base, skipped =
@@ -636,18 +674,46 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
   end;
   let cache = if use_cache then Some (Engine.cache ~results:cache_size engine) else None in
   let requests = List.concat (List.init (max 1 repeat) (fun _ -> base)) in
+  let deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
+  match rate with
+  | Some r when r > 0.0 ->
+      if check then
+        print_endline
+          "note: --check applies to closed-loop serving only (open-loop outcomes depend on \
+           arrival timing); skipping";
+      serve_open engine ~jobs ~traces ~cache ~max_queue ~deadline_s ~rate:r requests
+  | Some _ | None ->
+  (* Closed loop.  --deadline-ms bounds the whole batch: every request is
+     stamped with the same absolute wall deadline, measured from batch
+     start, so stragglers degrade to Partial/Rejected instead of holding
+     the batch open. *)
+  let requests =
+    match deadline_s with
+    | None -> requests
+    | Some d ->
+        let cutoff = Unix.gettimeofday () +. d in
+        List.map
+          (fun (rq : Serve.request) -> { rq with Serve.deadline = Some (Topo_core.Budget.Wall cutoff) })
+          requests
+  in
   let outcomes, stats = Serve.run ?jobs ~traces ?cache engine requests in
   List.iteri
     (fun i (o : Serve.outcome) ->
       if i < List.length base then
         match o.Serve.result with
-        | Ok r ->
-            Printf.printf "%3d. %-14s %2d result(s)  [tuples %d, probes %d, scanned %d]\n" (i + 1)
+        | Topo_core.Request.Done r | Topo_core.Request.Partial r ->
+            Printf.printf "%3d. %-14s %2d result(s)%s  [tuples %d, probes %d, scanned %d]\n" (i + 1)
               (Engine.method_name o.Serve.request.Serve.method_)
-              (List.length r.Engine.ranked) o.Serve.counters.Topo_sql.Iterator.Counters.tuples
+              (List.length r.Engine.ranked)
+              (match o.Serve.result with Topo_core.Request.Partial _ -> " (partial)" | _ -> "")
+              o.Serve.counters.Topo_sql.Iterator.Counters.tuples
               o.Serve.counters.Topo_sql.Iterator.Counters.index_probes
               o.Serve.counters.Topo_sql.Iterator.Counters.rows_scanned
-        | Error e ->
+        | Topo_core.Request.Rejected rj ->
+            Printf.printf "%3d. %-14s REJECTED (%s)\n" (i + 1)
+              (Engine.method_name o.Serve.request.Serve.method_)
+              (Topo_core.Request.rejection_name rj)
+        | Topo_core.Request.Failed e ->
             Printf.printf "%3d. %-14s ERROR %s\n" (i + 1)
               (Engine.method_name o.Serve.request.Serve.method_)
               (Printexc.to_string e))
@@ -665,11 +731,12 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
       outcomes
   end;
   Printf.printf
-    "\nserved %d quer%s (%d error%s) in %.3fs on %d domain(s), jobs=%d: %s\n"
+    "\nserved %d quer%s (%d error%s, %d rejected, %d partial) in %.3fs on %d domain(s), jobs=%d: %s\n"
     stats.Serve.queries
     (if stats.Serve.queries = 1 then "y" else "ies")
     stats.Serve.errors
     (if stats.Serve.errors = 1 then "" else "s")
+    stats.Serve.rejected stats.Serve.partials
     stats.Serve.elapsed_s stats.Serve.domains_used stats.Serve.jobs
     (match stats.Serve.throughput_qps with
     | Some qps -> Printf.sprintf "%.1f queries/s" qps
@@ -685,7 +752,12 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
         r.Topo_core.Cache.evictions r.Topo_core.Cache.invalidations
         c.Topo_core.Cache.plans.Topo_core.Cache.hits c.Topo_core.Cache.plans.Topo_core.Cache.misses
   | None -> ());
-  if check then begin
+  if check && deadline_s <> None then begin
+    print_endline
+      "note: --check needs deterministic outcomes; wall deadlines depend on timing, skipping";
+    0
+  end
+  else if check then begin
     (* The reference pass is sequential AND uncached, so with --cache this
        also asserts that serving from the cache changed no answer. *)
     let seq_outcomes, _ = Serve.run ~jobs:1 engine requests in
@@ -750,15 +822,46 @@ let serve_cmd =
       & info [ "cache-size" ] ~docv:"N"
           ~doc:"Result-cache capacity in entries (LRU eviction past this).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall deadline.  With --rate, each request's deadline runs from its \
+             intended arrival instant; without, the whole batch shares one deadline from batch \
+             start.  Expired requests short-circuit to a rejected outcome; top-k \
+             early-termination methods caught mid-flight return a partial ranked prefix.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue depth bound for open-loop serving (--rate): arrivals beyond this \
+             are rejected immediately as overloaded instead of queueing without bound.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:
+            "Serve open-loop: arrivals uniformly spaced at $(docv) requests/s through a bounded \
+             admission queue, reporting latency percentiles measured from each request's \
+             intended arrival (coordinated-omission corrected).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Evaluate a batch of topology queries concurrently across OCaml domains (the online \
           serving tier): shared read-only stores, per-domain engine handles, per-query counters \
-          and traces, optional shared result/plan cache, deterministic input-order results.")
+          and traces, optional shared result/plan cache, deterministic input-order results; \
+          open-loop mode (--rate) with admission control and deadlines.")
     Term.(
       const serve_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ t1_arg $ t2_arg
-      $ snapshot_arg $ jobs $ file $ repeat $ traces $ check $ use_cache $ cache_size)
+      $ snapshot_arg $ jobs $ file $ repeat $ traces $ check $ use_cache $ cache_size
+      $ deadline_ms $ max_queue $ rate)
 
 (* ------------------------------------------------------------------ *)
 (* nquery                                                               *)

@@ -1,0 +1,56 @@
+(* Per-request evaluation budgets for deadline-aware serving.
+
+   A [deadline] is the caller's bound on a request: either an absolute
+   wall-clock instant ([Wall], the open-loop serving tier's currency) or
+   a logical early-termination step count ([Ticks], the deterministic
+   currency used by tests and the [Partial]-determinism contract — the
+   same tick budget truncates the same evaluation at exactly the same
+   point on every run, machine, and jobs value).
+
+   A [t] is the in-flight form: one budget per evaluating request,
+   created by [Engine.run_request] after admission and threaded into the
+   early-termination loops of the top-k methods.  Each [tick] call asks
+   "may I pull one more unit of work?"; once the answer is no, the
+   budget is [tripped] for good and the evaluation surfaces a [Partial]
+   outcome.  The mutable state is confined to the single domain
+   evaluating the request — a budget never outlives or escapes its
+   request. *)
+
+type deadline =
+  | Wall of float  (* absolute Unix epoch seconds, compared to gettimeofday *)
+  | Ticks of int  (* logical budget: admits that many early-termination pulls *)
+
+let deadline_to_string = function
+  | Wall d -> Printf.sprintf "wall:%.6f" d
+  | Ticks n -> Printf.sprintf "ticks:%d" n
+
+(* Already expired before any work started?  The admission-time check:
+   [Engine.run_request] short-circuits to [Rejected Expired] on [true],
+   touching neither the cache nor the counters. *)
+let expired_now ~now = function Wall d -> now >= d | Ticks n -> n <= 0
+
+type t = { mutable ticks_left : int; wall : float option; mutable tripped : bool }
+
+let start = function
+  | Wall d -> { ticks_left = max_int; wall = Some d; tripped = false }
+  | Ticks n -> { ticks_left = n; wall = None; tripped = false }
+
+(* [tick b] consumes one unit and answers whether the budget is now
+   exhausted.  [Ticks n] admits exactly [n] calls returning [false]; the
+   (n+1)-th trips.  [Wall d] trips on the first call at or past the
+   instant.  Tripping is sticky: a tripped budget answers [true]
+   forever, so one deep check cannot un-expire a request. *)
+let tick b =
+  if b.tripped then true
+  else begin
+    let wall_hit = match b.wall with Some d -> Unix.gettimeofday () >= d | None -> false in
+    let tick_hit = b.ticks_left <= 0 in
+    if b.ticks_left > 0 then b.ticks_left <- b.ticks_left - 1;
+    if wall_hit || tick_hit then begin
+      b.tripped <- true;
+      true
+    end
+    else false
+  end
+
+let tripped b = b.tripped

@@ -1,0 +1,39 @@
+(** Per-request evaluation budgets for deadline-aware serving.
+
+    A {!deadline} bounds one request; a {!t} is its in-flight form,
+    created after admission and threaded into the top-k methods'
+    early-termination loops.  The mutable budget state is confined to
+    the single domain evaluating its request. *)
+
+type deadline =
+  | Wall of float
+      (** absolute instant in Unix epoch seconds; compared against
+          [Unix.gettimeofday ()] at admission and at every
+          early-termination step *)
+  | Ticks of int
+      (** logical budget: admit exactly that many early-termination
+          pulls, independent of the clock — the deterministic currency
+          of the [Partial] fingerprint contract *)
+
+val deadline_to_string : deadline -> string
+
+(** [expired_now ~now d] is the admission-time check: [true] when the
+    deadline has already passed ([Wall] at or before [now], [Ticks] with
+    no budget at all), in which case the request is rejected before any
+    evaluation, cache, or counter activity. *)
+val expired_now : now:float -> deadline -> bool
+
+type t
+
+(** [start d] is a fresh in-flight budget for one admitted request. *)
+val start : deadline -> t
+
+(** [tick b] consumes one unit of budget and answers whether the budget
+    is now exhausted — [true] means "stop pulling work".  [Ticks n]
+    admits exactly [n] calls returning [false]; [Wall d] trips at the
+    first call at or past the instant.  Tripping is sticky. *)
+val tick : t -> bool
+
+(** [tripped b]: did any {!tick} call answer [true]?  The evaluation
+    surfaces a [Partial] outcome exactly when this holds afterwards. *)
+val tripped : t -> bool

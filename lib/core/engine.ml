@@ -130,11 +130,11 @@ let cache ?results ?plans t = Cache.create ?results ?plans t.ctx.Context.registr
 (* The raw evaluation: dispatch the method, time it, trace it.  Counters
    accumulate in whatever scope is installed on the calling domain;
    exceptions propagate.  Both [run] and [run_request] bottom out here. *)
-let eval t (req : Request.t) ?impls ?(verify_plans = false) ?cache ?trace () =
+let eval t (req : Request.t) ?impls ?(verify_plans = false) ?cache ?trace ?budget () =
   let aligned = Methods.align t.ctx req.Request.query in
   let evaluate ?trace () =
-    Methods.dispatch req.Request.method_ ~check:verify_plans ?trace ?impls ?cache t.ctx aligned
-      ~scheme:req.Request.scheme ~k:req.Request.k
+    Methods.dispatch req.Request.method_ ~check:verify_plans ?trace ?impls ?cache ?budget t.ctx
+      aligned ~scheme:req.Request.scheme ~k:req.Request.k
   in
   let start = Unix.gettimeofday () in
   let ranked, strategy =
@@ -184,6 +184,9 @@ let run t query ~method_ ?scheme ?k ?impls ?(verify_plans = false) ?cache ?trace
           r)
   | Some _ | None -> eval t req ?impls ~verify_plans ?cache ?trace ()
 
+(* All-zero counter snapshot for outcomes that never evaluated. *)
+let no_work = { Counters.tuples = 0; index_probes = 0; rows_scanned = 0 }
+
 let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Request.t) =
   let trace = if traces then Some (Topo_obs.Trace.create ()) else None in
   (* Verification mode re-checks every plan the evaluation builds.  A
@@ -202,39 +205,60 @@ let run_request t ?cache ?(verify_plans = false) ?(traces = false) (req : Reques
       cache = status;
     }
   in
-  let evaluate ?cache () =
-    Counters.with_scope (fun () ->
-        try Ok (eval t req ~verify_plans ?cache ?trace ()) with e -> Error e)
-  in
-  match result_cache with
-  | None ->
-      let result, counters = evaluate ?cache () in
-      outcome result counters Request.Uncached
-  | Some c -> (
-      let key = Request.key req in
-      match Cache.find_result c ~key with
-      | Some p ->
-          (match trace with
-          | Some tr -> Topo_obs.Trace.with_span tr "cache_hit" ~tags:[ ("key", key) ] (fun () -> ())
-          | None -> ());
-          outcome
-            (Ok
-               {
-                 Request.ranked = p.Cache.ranked;
-                 elapsed_s = 0.0;
-                 method_ = req.Request.method_;
-                 strategy = p.Cache.strategy;
-               })
-            p.Cache.counters Request.Hit
+  match req.Request.deadline with
+  | Some d when Budget.expired_now ~now:(Unix.gettimeofday ()) d ->
+      (* Expired before any work started: short-circuit ahead of the
+         cache lookup and the counter scope, so a rejected request is
+         observably free — no cache traffic, no counter activity. *)
+      outcome (Request.Rejected Request.Expired) no_work Request.Uncached
+  | deadline -> (
+      let budget = Option.map Budget.start deadline in
+      let lift = function
+        | Ok r ->
+            if (match budget with Some b -> Budget.tripped b | None -> false) then
+              Request.Partial r
+            else Request.Done r
+        | Error e -> Request.Failed e
+      in
+      let evaluate ?cache () =
+        Counters.with_scope (fun () ->
+            try Ok (eval t req ~verify_plans ?cache ?trace ?budget ()) with e -> Error e)
+      in
+      match result_cache with
       | None ->
-          let stamp = Cache.stamp c in
-          let result, counters = evaluate ~cache:c () in
-          (match result with
-          | Ok r ->
-              Cache.add_result c ~key ~stamp
-                { Cache.ranked = r.Request.ranked; strategy = r.Request.strategy; counters }
-          | Error _ -> (* failures are not memoized: they re-raise deterministically *) ());
-          outcome result counters Request.Miss)
+          let result, counters = evaluate ?cache () in
+          outcome (lift result) counters Request.Uncached
+      | Some c -> (
+          let key = Request.key req in
+          match Cache.find_result c ~key with
+          | Some p ->
+              (match trace with
+              | Some tr ->
+                  Topo_obs.Trace.with_span tr "cache_hit" ~tags:[ ("key", key) ] (fun () -> ())
+              | None -> ());
+              outcome
+                (Request.Done
+                   {
+                     Request.ranked = p.Cache.ranked;
+                     elapsed_s = 0.0;
+                     method_ = req.Request.method_;
+                     strategy = p.Cache.strategy;
+                   })
+                p.Cache.counters Request.Hit
+          | None ->
+              let stamp = Cache.stamp c in
+              let result, counters = evaluate ~cache:c () in
+              let result = lift result in
+              (match result with
+              | Request.Done r ->
+                  Cache.add_result c ~key ~stamp
+                    { Cache.ranked = r.Request.ranked; strategy = r.Request.strategy; counters }
+              | Request.Partial _ | Request.Rejected _ | Request.Failed _ ->
+                  (* Only complete answers are memoized: a partial is a
+                     deadline-shaped prefix, and failures re-raise
+                     deterministically. *)
+                  ());
+              outcome result counters Request.Miss))
 
 (* The full observable output of the offline phase, as one digest: every
    registered topology's (TID, canonical key, decompositions) plus every

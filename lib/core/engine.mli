@@ -74,19 +74,29 @@ val cache : ?results:int -> ?plans:int -> t -> Cache.t
 
 (** [run_request t ?cache ?verify_plans ?traces request] is the canonical
     single-query entry point: it evaluates [request] under a fresh private
-    counter scope and returns the full {!Request.outcome} — result or
-    exception, isolated counters, serving domain, optional private trace,
-    and cache status.
+    counter scope and returns the full {!Request.outcome} — the four-way
+    {!Request.outcome_result}, isolated counters, serving domain,
+    optional private trace, and cache status.
+
+    Deadlines: a request whose {!Budget.deadline} has already passed
+    short-circuits to [Rejected Expired] {e before} the cache lookup and
+    the counter scope — a rejection is observably free.  Otherwise the
+    deadline becomes a {!Budget.t} threaded into the top-k methods'
+    early-termination loops; if it trips mid-evaluation the outcome is
+    [Partial] with the deterministic ranked prefix.
 
     With [?cache], the result tier is consulted first: a hit returns the
     memoized ranked list, strategy, and the {e stored} counter snapshot
     (replayed so cold and warm passes fingerprint identically, with a
-    ["cache_hit"] span when tracing); a miss evaluates with the plan tier
+    ["cache_hit"] span when tracing) — valid under any deadline, since a
+    hit costs no evaluation; a miss evaluates with the plan tier
     threaded through the optimizer and memoizes the outcome, stamped with
-    the topology-registry generation observed before evaluation.  Failed
-    evaluations are never memoized.  [verify_plans] bypasses caching
-    entirely (a hit would skip the verification the caller asked for).
-    [traces] (default false) attaches a private {!Topo_obs.Trace.t}. *)
+    the topology-registry generation observed before evaluation.  Only
+    [Done] outcomes are memoized — failures re-raise deterministically
+    and partials are deadline-shaped prefixes, not answers.
+    [verify_plans] bypasses caching entirely (a hit would skip the
+    verification the caller asked for).  [traces] (default false)
+    attaches a private {!Topo_obs.Trace.t}. *)
 val run_request :
   t -> ?cache:Cache.t -> ?verify_plans:bool -> ?traces:bool -> Request.t -> Request.outcome
 

@@ -261,10 +261,16 @@ let sort_desc results =
       if c <> 0 then c else Int.compare ta tb)
     results
 
+(* One budget tick per early-termination step; no budget = never stop.
+   Checked before pulling more work, so a budget that trips marks the
+   evaluation [Partial] only when it actually cut the loop short. *)
+let budget_stop = function Some b -> Budget.tick b | None -> false
+
 (* Merge the stream of found topologies (descending score) with checks of
    pruned topologies, keeping global descending-score order, stopping at
-   k results. *)
-let merge_with_pruned ctx aligned ~scheme ~k ~next_witness =
+   k results (or when the deadline budget trips — the results so far are
+   the deterministic prefix of the full answer's merge order). *)
+let merge_with_pruned ?budget ctx aligned ~scheme ~k ~next_witness =
   let pruned =
     List.map
       (fun (p : Topology.t) ->
@@ -280,6 +286,7 @@ let merge_with_pruned ctx aligned ~scheme ~k ~next_witness =
   in
   let rec loop pending pruned_left =
     if !count >= k then ()
+    else if budget_stop budget then ()
     else begin
       let pending = match pending with Some _ -> pending | None -> next_witness () in
       match (pending, pruned_left) with
@@ -330,24 +337,25 @@ let et_witness_stream ?(check = false) ?trace ctx aligned ~fact ~scheme ~impls =
 
 let default_impls = [ `I; `I; `I ]
 
-let full_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) () =
+let full_top_k_et ?check ?trace ?budget ctx aligned ~scheme ~k ?(impls = default_impls) () =
   let next =
     et_witness_stream ?check ?trace ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~impls
   in
   sp ?trace "stream_witnesses" (fun () ->
       let results = ref [] in
       let rec take n =
-        if n > 0 then
+        if n > 0 && not (budget_stop budget) then
           match next () with None -> () | Some r -> results := r :: !results; take (n - 1)
       in
       take k;
       sort_desc (List.rev !results))
 
-let fast_top_k_et ?check ?trace ctx aligned ~scheme ~k ?(impls = default_impls) () =
+let fast_top_k_et ?check ?trace ?budget ctx aligned ~scheme ~k ?(impls = default_impls) () =
   let next =
     et_witness_stream ?check ?trace ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~impls
   in
-  sp ?trace "merge_with_pruned" (fun () -> merge_with_pruned ctx aligned ~scheme ~k ~next_witness:next)
+  sp ?trace "merge_with_pruned" (fun () ->
+      merge_with_pruned ?budget ctx aligned ~scheme ~k ~next_witness:next)
 
 (* Plan-tier memoization of the optimizer's pricing searches.  The tier
    stays active under [~check:true]: a [Regular_plan] hit is re-run
@@ -442,19 +450,19 @@ let choose_strategy ~check ?trace ?cache ctx spec =
       Topo_obs.Trace.add_tag span "strategy" (strategy_name strategy);
       strategy
 
-let full_top_k_opt ?(check = false) ?trace ?cache ctx aligned ~scheme ~k =
+let full_top_k_opt ?(check = false) ?trace ?cache ?budget ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.alltops ~scheme ~k in
   match choose_strategy ~check ?trace ?cache ctx spec with
   | Optimizer.Regular -> (full_top_k ~check ?trace ?cache ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
-      (full_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+      (full_top_k_et ~check ?trace ?budget ctx aligned ~scheme ~k (), Optimizer.Early_termination)
 
-let fast_top_k_opt ?(check = false) ?trace ?cache ctx aligned ~scheme ~k =
+let fast_top_k_opt ?(check = false) ?trace ?cache ?budget ctx aligned ~scheme ~k =
   let spec = optimizer_spec ctx aligned ~fact:aligned.store.Store.lefttops ~scheme ~k in
   match choose_strategy ~check ?trace ?cache ctx spec with
   | Optimizer.Regular -> (fast_top_k ~check ?trace ?cache ctx aligned ~scheme ~k, Optimizer.Regular)
   | Optimizer.Early_termination ->
-      (fast_top_k_et ~check ?trace ctx aligned ~scheme ~k (), Optimizer.Early_termination)
+      (fast_top_k_et ~check ?trace ?budget ctx aligned ~scheme ~k (), Optimizer.Early_termination)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -464,8 +472,11 @@ let fast_top_k_opt ?(check = false) ?trace ?cache ctx aligned ~scheme ~k =
    their strategy choice.  [Engine], the serving tier and the benchmarks
    all route through this instead of hand-written nine-way matches.
    [impls] only reaches the -ET methods; [cache] (the plan tier) only the
-   methods that price plans. *)
-let dispatch method_ ?(check = false) ?trace ?impls ?cache ctx aligned ~scheme ~k =
+   methods that price plans; [budget] (the deadline) only the
+   early-termination loops — the other methods run to completion, which
+   keeps every complete answer bit-identical with and without a
+   deadline. *)
+let dispatch method_ ?(check = false) ?trace ?impls ?cache ?budget ctx aligned ~scheme ~k =
   let with_scores l = List.map (fun (tid, s) -> (tid, Some s)) l in
   let plain l = List.map (fun tid -> (tid, None)) l in
   match method_ with
@@ -475,12 +486,12 @@ let dispatch method_ ?(check = false) ?trace ?impls ?cache ctx aligned ~scheme ~
   | Full_top_k -> (with_scores (full_top_k ~check ?trace ?cache ctx aligned ~scheme ~k), None)
   | Fast_top_k -> (with_scores (fast_top_k ~check ?trace ?cache ctx aligned ~scheme ~k), None)
   | Full_top_k_et ->
-      (with_scores (full_top_k_et ~check ?trace ctx aligned ~scheme ~k ?impls ()), None)
+      (with_scores (full_top_k_et ~check ?trace ?budget ctx aligned ~scheme ~k ?impls ()), None)
   | Fast_top_k_et ->
-      (with_scores (fast_top_k_et ~check ?trace ctx aligned ~scheme ~k ?impls ()), None)
+      (with_scores (fast_top_k_et ~check ?trace ?budget ctx aligned ~scheme ~k ?impls ()), None)
   | Full_top_k_opt ->
-      let results, strategy = full_top_k_opt ~check ?trace ?cache ctx aligned ~scheme ~k in
+      let results, strategy = full_top_k_opt ~check ?trace ?cache ?budget ctx aligned ~scheme ~k in
       (with_scores results, Some strategy)
   | Fast_top_k_opt ->
-      let results, strategy = fast_top_k_opt ~check ?trace ?cache ctx aligned ~scheme ~k in
+      let results, strategy = fast_top_k_opt ~check ?trace ?cache ?budget ctx aligned ~scheme ~k in
       (with_scores results, Some strategy)

@@ -102,29 +102,37 @@ val fast_top_k :
 
 (** [impls] optionally pins the DGJ implementations (head = fact level) so
     benchmarks can time the paper's "best and worst plans"; default is all
-    IDGJ. *)
+    IDGJ.  [budget], when given, is ticked once per witness pull (or
+    merge step for the Fast variant): a trip stops the loop and the
+    results so far are the deterministic prefix of the full answer's
+    stream order — the [Partial] outcome's payload. *)
 val full_top_k_et :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?budget:Budget.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
 
 val fast_top_k_et :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
+  ?budget:Budget.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> ?impls:[ `I | `H ] list -> unit -> (int * float) list
 
 (** The cost-based choices; also return which strategy the optimizer
-    picked. *)
+    picked.  [budget] reaches only the early-termination branch — a
+    regular plan runs to completion. *)
 val full_top_k_opt :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
   ?cache:Cache.t ->
+  ?budget:Budget.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
 
 val fast_top_k_opt :
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
   ?cache:Cache.t ->
+  ?budget:Budget.t ->
   Context.t -> aligned -> scheme:Ranking.scheme -> k:int -> (int * float) list * Topo_sql.Optimizer.strategy
 
 (** [dispatch method_ ?check ?trace ?impls ?cache ctx aligned ~scheme ~k]
@@ -132,15 +140,18 @@ val fast_top_k_opt :
     to the uniform [(tid, score option)] shape (scores present exactly for
     top-k methods) and reports the -Opt methods' strategy choice.
     [?impls] reaches only the -ET methods, [?cache] (the plan tier) only
-    the plan-pricing methods.  {!Engine}, the serving tier and the
-    benchmarks route through this instead of hand-written nine-way
-    matches. *)
+    the plan-pricing methods, and [?budget] (the deadline) only the
+    early-termination loops — every other method runs to completion, so
+    complete answers are bit-identical with and without a deadline.
+    {!Engine}, the serving tier and the benchmarks route through this
+    instead of hand-written nine-way matches. *)
 val dispatch :
   method_ ->
   ?check:bool ->
   ?trace:Topo_obs.Trace.t ->
   ?impls:[ `I | `H ] list ->
   ?cache:Cache.t ->
+  ?budget:Budget.t ->
   Context.t ->
   aligned ->
   scheme:Ranking.scheme ->

@@ -1,12 +1,24 @@
 (* The shared request/outcome vocabulary of the query API.
 
    A [Request.t] is one unit of online work — (method, query, scheme, k)
-   — and a [Request.outcome] is everything observable about evaluating
-   it: the result (or the exception it raised), the isolated work
-   counters, the domain that served it, its private trace, and whether
-   the answer came from the cache.  [Engine.run_request] is the canonical
-   evaluator; the serving tier, the CLI and the benchmarks all speak this
-   type.
+   plus an optional deadline — and a [Request.outcome] is everything
+   observable about evaluating it: how it ended (the four-way
+   [outcome_result]), the isolated work counters, the domain that served
+   it, its private trace, and whether the answer came from the cache.
+   [Engine.run_request] is the canonical evaluator; the serving tier,
+   the CLI and the benchmarks all speak this type.
+
+   Outcome state machine (see DESIGN.md "Overload control"):
+
+     submitted --admission queue full--------------> Rejected Overloaded
+     submitted --deadline already passed-----------> Rejected Expired
+     admitted  --evaluates, budget never trips-----> Done result
+     admitted  --ET loop trips the budget----------> Partial result (ranked prefix)
+     admitted  --evaluation raises-----------------> Failed exn
+
+   Only [Done] results are ever memoized: a [Partial] is a
+   deadline-shaped prefix, not the answer, and rejected requests
+   short-circuit before the cache is even consulted.
 
    [key] renders the canonical cache key.  Canonicalization folds two
    sources of accidental variety:
@@ -17,11 +29,23 @@
      renderings are sorted.  Same-entity pairs keep their order (there
      alignment is positional, so orientation is meaningful).
    - scheme and k: the three non-top-k methods ignore both, so their keys
-     omit them. *)
+     omit them.
 
-type t = { method_ : Methods.method_; query : Query.t; scheme : Ranking.scheme; k : int }
+   The deadline is deliberately NOT part of the key: it bounds how long
+   evaluation may run, not what the full answer is, so a cached [Done]
+   answer is valid for any deadline (a hit costs no evaluation time and
+   trivially meets it). *)
 
-let make ?(scheme = Ranking.Freq) ?(k = 10) method_ query = { method_; query; scheme; k }
+type t = {
+  method_ : Methods.method_;
+  query : Query.t;
+  scheme : Ranking.scheme;
+  k : int;
+  deadline : Budget.deadline option;
+}
+
+let make ?(scheme = Ranking.Freq) ?(k = 10) ?deadline method_ query =
+  { method_; query; scheme; k; deadline }
 
 type result = {
   ranked : (int * float option) list;
@@ -30,13 +54,33 @@ type result = {
   strategy : Topo_sql.Optimizer.strategy option;
 }
 
+type rejection = Overloaded | Expired
+
+let rejection_name = function Overloaded -> "overloaded" | Expired -> "expired"
+
+type outcome_result =
+  | Done of result
+  | Partial of result
+  | Rejected of rejection
+  | Failed of exn
+
+let outcome_result_name = function
+  | Done _ -> "done"
+  | Partial _ -> "partial"
+  | Rejected r -> "rejected-" ^ rejection_name r
+  | Failed _ -> "failed"
+
+let answered = function Done r | Partial r -> Some r | Rejected _ | Failed _ -> None
+
+let failure = function Failed e -> Some e | Done _ | Partial _ | Rejected _ -> None
+
 type cache_status = Hit | Miss | Uncached
 
 let cache_status_name = function Hit -> "hit" | Miss -> "miss" | Uncached -> "uncached"
 
 type outcome = {
   request : t;
-  result : (result, exn) Stdlib.result;
+  result : outcome_result;
   counters : Topo_sql.Iterator.Counters.snapshot;
   served_by : int;
   trace : Topo_obs.Trace.t option;
@@ -58,5 +102,8 @@ let key r =
   Printf.sprintf "%s|%s|%s|%s" (Methods.method_name r.method_) rank a b
 
 let to_string (r : t) =
-  Printf.sprintf "%s %s k=%d %s" (Methods.method_name r.method_) (Ranking.name r.scheme) r.k
+  Printf.sprintf "%s %s k=%d %s%s" (Methods.method_name r.method_) (Ranking.name r.scheme) r.k
     (Query.to_string r.query)
+    (match r.deadline with
+    | None -> ""
+    | Some d -> " deadline=" ^ Budget.deadline_to_string d)

@@ -1,21 +1,37 @@
 (** The shared request/outcome vocabulary of the query API.
 
-    A {!t} is one unit of online work — (method, query, scheme, k) — and
-    an {!outcome} is everything observable about evaluating it.
-    {!Engine.run_request} is the canonical evaluator; {!Serve},
-    [toposearch] and the benchmarks all speak these types ({!Serve}
-    re-exports them under its historical names). *)
+    A {!t} is one unit of online work — (method, query, scheme, k) plus
+    an optional {!Budget.deadline} — and an {!outcome} is everything
+    observable about evaluating it.  {!Engine.run_request} is the
+    canonical evaluator; {!Serve}, [toposearch] and the benchmarks all
+    speak these types ({!Serve} re-exports them under its historical
+    names).
+
+    How a request can end ({!outcome_result}):
+    - [Done r] — evaluated to completion.
+    - [Partial r] — the deadline budget tripped inside a top-k method's
+      early-termination loop; [r.ranked] is the deterministic prefix
+      produced before the trip.
+    - [Rejected Overloaded] — the open-loop admission queue was at its
+      depth limit; the request was turned away without evaluation.
+    - [Rejected Expired] — the deadline had already passed at admission;
+      short-circuited before evaluation, cache, or counter activity.
+    - [Failed e] — evaluation raised [e].
+
+    Only [Done] results are memoized. *)
 
 type t = {
   method_ : Methods.method_;
   query : Query.t;
   scheme : Ranking.scheme;
   k : int;
+  deadline : Budget.deadline option;  (** bound on evaluation; [None] = run to completion *)
 }
 
-(** [make ?scheme ?k method_ query] with [scheme] defaulting to [Freq] and
-    [k] to 10. *)
-val make : ?scheme:Ranking.scheme -> ?k:int -> Methods.method_ -> Query.t -> t
+(** [make ?scheme ?k ?deadline method_ query] with [scheme] defaulting to
+    [Freq], [k] to 10 and [deadline] to none. *)
+val make :
+  ?scheme:Ranking.scheme -> ?k:int -> ?deadline:Budget.deadline -> Methods.method_ -> Query.t -> t
 
 type result = {
   ranked : (int * float option) list;  (** TIDs with scores for top-k methods *)
@@ -24,21 +40,44 @@ type result = {
   strategy : Topo_sql.Optimizer.strategy option;  (** what an -Opt method chose *)
 }
 
+type rejection =
+  | Overloaded  (** the bounded admission queue was full *)
+  | Expired  (** the deadline had already passed at admission *)
+
+val rejection_name : rejection -> string
+
+type outcome_result =
+  | Done of result
+  | Partial of result
+  | Rejected of rejection
+  | Failed of exn
+
+(** ["done"], ["partial"], ["rejected-overloaded"], ["rejected-expired"],
+    ["failed"]. *)
+val outcome_result_name : outcome_result -> string
+
+(** The ranked answer, full or partial — [None] for rejections and
+    failures. *)
+val answered : outcome_result -> result option
+
+(** The raised exception of a [Failed] outcome. *)
+val failure : outcome_result -> exn option
+
 type cache_status =
   | Hit  (** answered from the result cache, stored counters replayed *)
-  | Miss  (** evaluated; the outcome was inserted into the cache *)
-  | Uncached  (** evaluated with no cache attached (or verification on) *)
+  | Miss  (** evaluated; a [Done] outcome was inserted into the cache *)
+  | Uncached  (** no cache consulted (none attached, verification on, or rejected) *)
 
 val cache_status_name : cache_status -> string
 
 type outcome = {
   request : t;
-  result : (result, exn) Stdlib.result;
+  result : outcome_result;
   counters : Topo_sql.Iterator.Counters.snapshot;
       (** operator work performed by this query alone; on a cache hit, the
           stored snapshot of the original evaluation, replayed so cold and
-          warm passes fingerprint identically *)
-  served_by : int;  (** id of the domain that evaluated the query *)
+          warm passes fingerprint identically; all-zero for rejections *)
+  served_by : int;  (** id of the domain that evaluated (or rejected) the query *)
   trace : Topo_obs.Trace.t option;  (** the query's private span tree, when requested *)
   cache : cache_status;
 }
@@ -47,7 +86,9 @@ type outcome = {
     (the two endpoint renderings are sorted when the entity sets differ —
     evaluation aligns to the stored pair, so both phrasings answer
     identically), and scheme/k are omitted for the three non-top-k methods
-    that ignore them. *)
+    that ignore them.  The deadline is deliberately excluded: it bounds
+    evaluation time, not the full answer, so a cached [Done] result is
+    valid under any deadline. *)
 val key : t -> string
 
 (** [to_string r] for display. *)

@@ -1,5 +1,5 @@
 (* The online serving tier: batch-evaluate topology queries concurrently
-   across OCaml 5 domains.
+   across OCaml 5 domains, closed-loop or open-loop.
 
    Each query keeps its single-coordinator evaluation (the paper's online
    phase is inherently one plan per query); what parallelizes is the
@@ -9,8 +9,9 @@
    after the offline build) plus per-domain scratch state.  Evaluation
    itself is [Engine.run_request] — the canonical single-query entry
    point — which isolates each query in a fresh [Iterator.Counters]
-   scope, attaches a private [Trace.t] on demand, and consults the
-   optional shared [Cache.t].
+   scope, attaches a private [Trace.t] on demand, consults the optional
+   shared [Cache.t], and enforces the request's deadline (admission-time
+   expiry, mid-evaluation [Partial] truncation).
 
    The cache is per engine and shared across the serving domains: lookups
    are lock-free snapshot reads, inserts serialize on the cache's own
@@ -22,9 +23,19 @@
 
    [run ~jobs:n] returns outcomes bit-identical to [run ~jobs:1] (and to
    a plain sequential [Engine.run] loop), in input order, whether the
-   cache is cold, warm, or absent.  A query that raises yields [Error] in
-   its own slot and leaves the rest of the batch untouched; failures are
-   never memoized. *)
+   cache is cold, warm, or absent.  A query that raises yields [Failed]
+   in its own slot and leaves the rest of the batch untouched; failures
+   are never memoized.
+
+   [run_open] is the open-loop mode ("millions of users"): requests
+   arrive at externally-dictated instants, a bounded admission queue
+   turns the excess away with a fast [Rejected Overloaded] outcome
+   instead of letting the queue (and every queued request's latency)
+   grow without bound, and per-request latency is measured from the
+   *intended* arrival instant — the coordinated-omission correction: a
+   request delayed in the queue is charged its waiting time, so a
+   stalled server cannot hide behind requests it never got around to
+   admitting. *)
 
 module Pool = Topo_util.Pool
 module Counters = Topo_sql.Iterator.Counters
@@ -36,11 +47,12 @@ type request = Request.t = {
   query : Query.t;
   scheme : Ranking.scheme;
   k : int;
+  deadline : Budget.deadline option;
 }
 
 type outcome = Request.outcome = {
   request : request;
-  result : (Engine.result, exn) Stdlib.result;
+  result : Request.outcome_result;
   counters : Counters.snapshot;
   served_by : int;
   trace : Trace.t option;
@@ -52,7 +64,9 @@ let request = Request.make
 type stats = {
   jobs : int;
   queries : int;
-  errors : int;
+  errors : int;  (* Failed outcomes only *)
+  rejected : int;  (* Rejected outcomes (expired deadlines in closed loop) *)
+  partials : int;  (* Partial outcomes (deadline tripped mid-evaluation) *)
   elapsed_s : float;
   throughput_qps : float option;  (* None when elapsed is below clock resolution *)
   domains_used : int;
@@ -99,6 +113,16 @@ let evaluate ~traces ?cache engine handle req =
   handle.h_served <- handle.h_served + 1;
   Engine.run_request engine ?cache ~traces req
 
+let classify outcomes =
+  List.fold_left
+    (fun (errors, rejected, partials) o ->
+      match o.result with
+      | Request.Failed _ -> (errors + 1, rejected, partials)
+      | Request.Rejected _ -> (errors, rejected + 1, partials)
+      | Request.Partial _ -> (errors, rejected, partials + 1)
+      | Request.Done _ -> (errors, rejected, partials))
+    (0, 0, 0) outcomes
+
 let serve_on pool ~traces ?cache engine requests =
   let input = Array.of_list requests in
   let before = Option.map Cache.totals cache in
@@ -109,7 +133,7 @@ let serve_on pool ~traces ?cache engine requests =
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let outcomes = Array.to_list outcomes in
   let domains = List.sort_uniq compare (List.map (fun o -> o.served_by) outcomes) in
-  let errors = List.length (List.filter (fun o -> Result.is_error o.result) outcomes) in
+  let errors, rejected, partials = classify outcomes in
   let queries = List.length outcomes in
   let cache_delta =
     match (cache, before) with
@@ -121,6 +145,8 @@ let serve_on pool ~traces ?cache engine requests =
       jobs = Pool.jobs pool;
       queries;
       errors;
+      rejected;
+      partials;
       elapsed_s;
       (* A sub-resolution batch (warm cache, coarse clock) has no
          measurable throughput; reporting 0.0 would read as a collapse. *)
@@ -143,15 +169,183 @@ let run ?pool ?jobs ?(traces = false) ?cache engine requests =
       Pool.with_pool ?jobs (fun pool -> serve_on pool ~traces ?cache engine requests)
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop serving                                                   *)
+
+type arrival = { at : float; arrival_request : request }
+
+type timed = {
+  timed_outcome : outcome;
+  intended_s : float;
+  started_s : float;
+  finished_s : float;
+  latency_s : float;
+}
+
+type open_stats = {
+  open_jobs : int;
+  offered : int;
+  admitted : int;
+  rejected_overload : int;
+  expired : int;
+  completed : int;
+  partial : int;
+  failed : int;
+  wall_s : float;
+  offered_rate : float option;
+  achieved_rate : float option;
+}
+
+let with_lock m f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* An outcome manufactured on the coordinator for a request the admission
+   queue turned away: no evaluation, no counters, no cache traffic. *)
+let overloaded_outcome req =
+  {
+    request = req;
+    result = Request.Rejected Request.Overloaded;
+    counters = { Counters.tuples = 0; index_probes = 0; rows_scanned = 0 };
+    served_by = (Domain.self () :> int);
+    trace = None;
+    cache = Request.Uncached;
+  }
+
+let run_open ?jobs ?(max_queue = 64) ?deadline_s ?(traces = false) ?cache engine arrivals =
+  let jobs =
+    let recommended = Domain.recommended_domain_count () in
+    max 1 (min (Option.value jobs ~default:recommended) recommended)
+  in
+  let arrivals =
+    List.stable_sort (fun a b -> Float.compare a.at b.at) arrivals |> Array.of_list
+  in
+  let n = Array.length arrivals in
+  let slots : timed option array = Array.make n None in
+  let lock = Mutex.create () in
+  let work = Condition.create () in
+  let pending : (int * request) Queue.t = Queue.create () in
+  let closed = ref false in
+  let t0 = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. t0 in
+  (* Stamp the configured per-request deadline, measured from the
+     request's intended arrival instant (not its admission instant): a
+     request that waited in the queue has already spent part of its
+     deadline waiting. *)
+  let stamp at req =
+    match (req.deadline, deadline_s) with
+    | None, Some d -> { req with deadline = Some (Budget.Wall (t0 +. at +. d)) }
+    | _ -> req
+  in
+  let record idx outcome ~started ~finished =
+    let intended = arrivals.(idx).at in
+    slots.(idx) <-
+      Some
+        {
+          timed_outcome = outcome;
+          intended_s = intended;
+          started_s = started;
+          finished_s = finished;
+          (* Coordinated-omission correction: latency is charged from the
+             intended arrival, so queueing delay (and rejection delay)
+             counts against the server. *)
+          latency_s = finished -. intended;
+        }
+  in
+  let worker () =
+    let rec loop () =
+      let job =
+        with_lock lock (fun () ->
+            while Queue.is_empty pending && not !closed do
+              Condition.wait work lock
+            done;
+            if Queue.is_empty pending then None else Some (Queue.pop pending))
+      in
+      match job with
+      | None -> ()
+      | Some (idx, req) ->
+          let started = now () in
+          let o = evaluate ~traces ?cache engine (handle_for engine) req in
+          record idx o ~started ~finished:(now ());
+          loop ()
+    in
+    loop ()
+  in
+  let workers = Array.init jobs (fun _ -> Domain.spawn worker) in
+  (* The coordinator paces admissions at the arrival schedule.  Each slot
+     is written exactly once — here for overload rejections, by exactly
+     one worker otherwise — and Domain.join publishes the workers'
+     writes before aggregation reads them. *)
+  Array.iteri
+    (fun idx a ->
+      let wait = a.at -. now () in
+      if wait > 0.0 then Unix.sleepf wait;
+      let admitted =
+        with_lock lock (fun () ->
+            if Queue.length pending >= max_queue then false
+            else begin
+              Queue.add (idx, stamp a.at a.arrival_request) pending;
+              Condition.signal work;
+              true
+            end)
+      in
+      if not admitted then begin
+        let t = now () in
+        record idx (overloaded_outcome a.arrival_request) ~started:t ~finished:t
+      end)
+    arrivals;
+  with_lock lock (fun () ->
+      closed := true;
+      Condition.broadcast work);
+  Array.iter Domain.join workers;
+  let wall_s = now () in
+  let timed =
+    Array.to_list
+      (Array.mapi
+         (fun idx slot ->
+           match slot with
+           | Some t -> t
+           | None ->
+               (* Unreachable: every index is either rejected by the
+                  coordinator or evaluated by a worker before join. *)
+               failwith (Printf.sprintf "Serve.run_open: slot %d never served" idx))
+         slots)
+  in
+  let count p = List.length (List.filter p timed) in
+  let rejected_overload =
+    count (fun t -> match t.timed_outcome.result with Request.Rejected Request.Overloaded -> true | _ -> false)
+  in
+  let expired =
+    count (fun t -> match t.timed_outcome.result with Request.Rejected Request.Expired -> true | _ -> false)
+  in
+  let completed = count (fun t -> match t.timed_outcome.result with Request.Done _ -> true | _ -> false) in
+  let partial = count (fun t -> match t.timed_outcome.result with Request.Partial _ -> true | _ -> false) in
+  let failed = count (fun t -> match t.timed_outcome.result with Request.Failed _ -> true | _ -> false) in
+  let rate c = if wall_s > 0.0 then Some (float_of_int c /. wall_s) else None in
+  ( timed,
+    {
+      open_jobs = jobs;
+      offered = n;
+      admitted = n - rejected_overload;
+      rejected_overload;
+      expired;
+      completed;
+      partial;
+      failed;
+      wall_s;
+      offered_rate = rate n;
+      achieved_rate = rate (completed + partial);
+    } )
+
+(* ------------------------------------------------------------------ *)
 (* Determinism fingerprint                                             *)
 
 (* The full observable output of a batch as one string: per query, the
-   ranked (TID, score) list, the optimizer's strategy choice, the isolated
-   work counters, or the raised exception.  Wall-clock fields are
+   ranked (TID, score) list (flagged when it is a deadline-truncated
+   prefix), the optimizer's strategy choice, the isolated work counters,
+   the rejection kind, or the raised exception.  Wall-clock fields are
    deliberately excluded — and so is the per-outcome cache status: which
    occurrence of a repeated query populates the cache depends on domain
    scheduling, but the *values* served do not.  [run ~jobs:n] must
-   fingerprint identically for every n, cold or warm. *)
+   fingerprint identically for every n, cold or warm; a [Ticks]-deadline
+   batch must fingerprint identically on every run. *)
 let fingerprint outcomes =
   let buf = Buffer.create 4096 in
   List.iteri
@@ -161,7 +355,7 @@ let fingerprint outcomes =
            (Engine.method_name o.request.method_)
            (Ranking.name o.request.scheme) o.request.k);
       (match o.result with
-      | Ok r ->
+      | Request.Done r | Request.Partial r ->
           List.iter
             (fun (tid, score) ->
               Buffer.add_string buf
@@ -173,8 +367,12 @@ let fingerprint outcomes =
             (match r.Engine.strategy with
             | Some Topo_sql.Optimizer.Regular -> " regular"
             | Some Topo_sql.Optimizer.Early_termination -> " et"
-            | None -> "")
-      | Error e -> Buffer.add_string buf ("error " ^ Printexc.to_string e));
+            | None -> "");
+          (match o.result with
+          | Request.Partial _ -> Buffer.add_string buf " partial"
+          | _ -> ())
+      | Request.Rejected rj -> Buffer.add_string buf ("rejected " ^ Request.rejection_name rj)
+      | Request.Failed e -> Buffer.add_string buf ("error " ^ Printexc.to_string e));
       Buffer.add_string buf
         (Printf.sprintf " [t=%d p=%d s=%d]\n" o.counters.Counters.tuples
            o.counters.Counters.index_probes o.counters.Counters.rows_scanned))

@@ -1,5 +1,6 @@
 (** The online serving tier: evaluate a batch of topology queries
-    concurrently across OCaml 5 domains.
+    concurrently across OCaml 5 domains — closed-loop ({!run}) or
+    open-loop with admission control and deadlines ({!run_open}).
 
     Each query keeps its single-coordinator evaluation; the {e batch} is
     what parallelizes — one {!Topo_util.Pool} task per query, one query per
@@ -8,13 +9,17 @@
     interner, data graph — frozen after the offline build) plus per-domain
     scratch.  Each query is evaluated by {!Engine.run_request}: a fresh
     {!Topo_sql.Iterator.Counters} scope, a private trace sink when tracing
-    is requested, and the optional shared {!Cache.t}.
+    is requested, the optional shared {!Cache.t}, and the request's
+    deadline enforced (admission-time expiry, mid-evaluation [Partial]
+    truncation).
 
     Determinism contract: [run ~jobs:n] returns outcomes bit-identical to
     [run ~jobs:1] — and to a sequential {!Engine.run} loop — in input
     order, whether the cache is cold, warm, or absent.  A query that
-    raises yields [Error] in its own slot; the rest of the batch still
-    completes, and failures are never memoized. *)
+    raises yields [Failed] in its own slot; the rest of the batch still
+    completes, and failures are never memoized.  [Ticks]-deadline
+    batches extend the contract: the same tick budget produces the same
+    [Partial] prefix on every run and jobs value. *)
 
 (** The historical request type, now an alias of {!Request.t}. *)
 type request = Request.t = {
@@ -22,20 +27,23 @@ type request = Request.t = {
   query : Query.t;
   scheme : Ranking.scheme;
   k : int;
+  deadline : Budget.deadline option;
 }
 
-(** [request ?scheme ?k method_ query] is {!Request.make}. *)
-val request : ?scheme:Ranking.scheme -> ?k:int -> Engine.method_ -> Query.t -> request
+(** [request ?scheme ?k ?deadline method_ query] is {!Request.make}. *)
+val request :
+  ?scheme:Ranking.scheme -> ?k:int -> ?deadline:Budget.deadline -> Engine.method_ -> Query.t -> request
 
 (** The historical outcome type, now an alias of {!Request.outcome}. *)
 type outcome = Request.outcome = {
   request : request;
-  result : (Engine.result, exn) Stdlib.result;
+  result : Request.outcome_result;
   counters : Topo_sql.Iterator.Counters.snapshot;
       (** operator work performed by this query alone — concurrent queries
           never contribute to each other's counts; on a cache hit, the
-          stored snapshot of the original evaluation *)
-  served_by : int;  (** id of the domain that evaluated the query *)
+          stored snapshot of the original evaluation; all-zero for
+          rejections *)
+  served_by : int;  (** id of the domain that evaluated (or rejected) the query *)
   trace : Topo_obs.Trace.t option;  (** the query's private span tree, when requested *)
   cache : Request.cache_status;  (** how the result cache participated *)
 }
@@ -43,7 +51,9 @@ type outcome = Request.outcome = {
 type stats = {
   jobs : int;  (** parallelism degree actually used *)
   queries : int;
-  errors : int;  (** outcomes whose [result] is [Error] *)
+  errors : int;  (** outcomes whose result is [Failed] *)
+  rejected : int;  (** [Rejected] outcomes (expired deadlines, in closed loop) *)
+  partials : int;  (** [Partial] outcomes (deadline tripped mid-evaluation) *)
   elapsed_s : float;  (** wall time for the whole batch *)
   throughput_qps : float option;
       (** [queries /. elapsed_s], or [None] when the batch finished under
@@ -79,11 +89,77 @@ val run :
   request list ->
   outcome list * stats
 
+(** {1 Open-loop serving} *)
+
+(** One scheduled request: [at] is its intended arrival instant in
+    seconds from the start of the run. *)
+type arrival = { at : float; arrival_request : request }
+
+(** An outcome with its open-loop timing.  All instants are seconds from
+    the start of the run; [latency_s = finished_s -. intended_s] — the
+    coordinated-omission-corrected latency, charged from the instant the
+    request {e should} have arrived, so queueing delay counts against
+    the server rather than vanishing from the histogram. *)
+type timed = {
+  timed_outcome : outcome;
+  intended_s : float;  (** the arrival schedule's instant for this request *)
+  started_s : float;  (** when a worker picked it up (= rejection instant for overloads) *)
+  finished_s : float;
+  latency_s : float;
+}
+
+type open_stats = {
+  open_jobs : int;  (** worker domains used *)
+  offered : int;  (** every scheduled arrival; [admitted + rejected_overload] *)
+  admitted : int;  (** entered the bounded queue *)
+  rejected_overload : int;  (** turned away at admission: queue at [max_queue] *)
+  expired : int;  (** admitted, but the deadline passed before evaluation began *)
+  completed : int;  (** [Done] outcomes *)
+  partial : int;  (** [Partial] outcomes (deadline tripped mid-evaluation) *)
+  failed : int;  (** [Failed] outcomes — always unexpected *)
+  wall_s : float;  (** run duration: last finish (or rejection) instant *)
+  offered_rate : float option;  (** [offered /. wall_s]; [None] under clock resolution *)
+  achieved_rate : float option;  (** answered ([completed + partial]) per second *)
+}
+
+(** [run_open ?jobs ?max_queue ?deadline_s ?traces ?cache engine arrivals]
+    replays the arrival schedule open-loop: a coordinator domain admits
+    each request at its intended instant into a bounded queue ([max_queue],
+    default 64) drained by [jobs] worker domains (default: the machine's
+    recommended count; capped there).  When the queue is at its bound the
+    request is rejected immediately with [Rejected Overloaded] — overload
+    sheds load in O(1) instead of growing the queue and every queued
+    request's latency without bound.
+
+    [deadline_s], when given, stamps each admitted request (that does not
+    already carry a deadline) with [Wall (arrival instant + deadline_s)]
+    — measured from the {e intended} arrival, so time spent waiting in
+    the queue consumes the deadline.  An admitted request whose deadline
+    passes before a worker picks it up short-circuits to
+    [Rejected Expired] inside {!Engine.run_request}, before any cache or
+    counter activity.
+
+    Results come back sorted by intended arrival instant, one {!timed}
+    per offered request; the stats satisfy
+    [admitted + rejected_overload = offered] and
+    [completed + partial + failed + expired = admitted]. *)
+val run_open :
+  ?jobs:int ->
+  ?max_queue:int ->
+  ?deadline_s:float ->
+  ?traces:bool ->
+  ?cache:Cache.t ->
+  Engine.t ->
+  arrival list ->
+  timed list * open_stats
+
 (** [fingerprint outcomes] renders the batch's full observable output —
-    ranked lists with scores, strategy choices, per-query counters,
-    exceptions — excluding wall-clock fields and the per-outcome cache
-    status (which occurrence of a repeated query populates the cache
-    depends on domain scheduling; the values served do not).
-    Bit-identical across jobs values and across cold/warm/no-cache runs;
-    the benchmark and CI gate compare these digests. *)
+    ranked lists with scores (flagged when deadline-truncated), strategy
+    choices, per-query counters, rejection kinds, exceptions — excluding
+    wall-clock fields and the per-outcome cache status (which occurrence
+    of a repeated query populates the cache depends on domain
+    scheduling; the values served do not).  Bit-identical across jobs
+    values and across cold/warm/no-cache runs, and — for [Ticks]
+    deadlines — across repeated runs of the same truncated batch; the
+    benchmark and CI gate compare these digests. *)
 val fingerprint : outcome list -> string

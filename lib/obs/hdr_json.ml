@@ -1,0 +1,39 @@
+(* JSON export for Topo_util.Hdr histograms.
+
+   Lives on the observability side because the dependency arrow points
+   this way: topo_util is the bottom of the library stack and cannot see
+   Json, while every consumer of the export (bench snapshots, the CLI)
+   already links topo_obs. *)
+
+module Hdr = Topo_util.Hdr
+
+let ms_of_ns ns = float_of_int ns /. 1.0e6
+
+let quantiles = [ ("p50", 0.50); ("p95", 0.95); ("p99", 0.99); ("p999", 0.999) ]
+
+(* Percentile summary in milliseconds — the shape BENCH_LATENCY.json and
+   check_regress speak.  Null percentiles mean "empty histogram", never
+   "zero latency". *)
+let summary_ms h =
+  Json.Obj
+    (("count", Json.int (Hdr.count h))
+    ::
+    (if Hdr.count h = 0 then
+       List.map (fun (name, _) -> (name ^ "_ms", Json.Null)) quantiles
+       @ [ ("min_ms", Json.Null); ("max_ms", Json.Null); ("mean_ms", Json.Null) ]
+     else
+       List.map (fun (name, q) -> (name ^ "_ms", Json.Num (ms_of_ns (Hdr.quantile h q)))) quantiles
+       @ [
+           ("min_ms", Json.Num (ms_of_ns (Hdr.min_value h)));
+           ("max_ms", Json.Num (ms_of_ns (Hdr.max_value h)));
+           ("mean_ms", Json.Num (Hdr.mean h /. 1.0e6));
+         ]))
+
+(* Full bucket dump, for offline analysis of a recorded distribution. *)
+let buckets h =
+  Json.Arr
+    (List.map
+       (fun (low, high, count) ->
+         Json.Obj
+           [ ("low_ns", Json.int low); ("high_ns", Json.int high); ("count", Json.int count) ])
+       (Hdr.buckets h))

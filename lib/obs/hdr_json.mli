@@ -1,0 +1,15 @@
+(** JSON export for {!Topo_util.Hdr} histograms.
+
+    Lives here (not in [topo_util]) because the library stack's
+    dependency arrow points from observability down to util, never up. *)
+
+(** [summary_ms h] is the percentile summary object consumed by
+    BENCH_LATENCY.json and [check_regress]: [count], then [p50_ms],
+    [p95_ms], [p99_ms], [p999_ms], [min_ms], [max_ms], [mean_ms]
+    (nanosecond observations scaled to milliseconds).  An empty
+    histogram exports null percentiles — "unmeasured", never "zero". *)
+val summary_ms : Topo_util.Hdr.t -> Json.t
+
+(** [buckets h] dumps every non-empty bucket as
+    [{low_ns, high_ns, count}], ascending. *)
+val buckets : Topo_util.Hdr.t -> Json.t

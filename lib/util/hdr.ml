@@ -1,0 +1,119 @@
+(* HDR-style log-bucketed latency histogram.
+
+   Records non-negative integer values (the serving tier feeds it
+   nanoseconds) into buckets whose width tracks magnitude: values below
+   [sub_count] land in exact unit buckets, and each further power of two
+   is split into [sub_count] sub-buckets, so the relative quantization
+   error is bounded by [1 / sub_count] (about 1.6% here) at every scale
+   from nanoseconds to hours.  Count, min, max and sum are exact
+   regardless of bucketing.
+
+   Like [Dyn] and [Int_table], a histogram is an unsynchronized
+   single-writer primitive: one domain records into its own histogram
+   (the open-loop load generator keeps one per worker or one per rate
+   point on the coordinator) and [merge] combines finished histograms on
+   one domain afterwards.  Sharing a live histogram across domains is
+   the caller's bug, not this module's contract. *)
+
+let sub_bits = 6
+let sub_count = 1 lsl sub_bits (* 64 exact unit buckets, 64 sub-buckets per octave *)
+
+(* Position of the most significant set bit of [v > 0]. *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* Values in [0, sub_count) get exact unit buckets [0, sub_count).
+   A value with msb position m >= sub_bits keeps its top [sub_bits + 1]
+   bits: shift = m - sub_bits, top = v lsr shift in
+   [sub_count, 2 * sub_count), index = (shift + 1) * sub_count
+   + (top - sub_count).  The two ranges are contiguous (shift = 0
+   continues the unit range seamlessly). *)
+let index_of v =
+  if v < sub_count then v
+  else begin
+    let shift = msb v - sub_bits in
+    let top = v lsr shift in
+    ((shift + 1) * sub_count) + (top - sub_count)
+  end
+
+(* Inclusive value range covered by bucket [i]. *)
+let range_of i =
+  if i < sub_count then (i, i)
+  else begin
+    let shift = (i / sub_count) - 1 in
+    let low = ((i mod sub_count) + sub_count) lsl shift in
+    (low, low + (1 lsl shift) - 1)
+  end
+
+(* Every representable non-negative int fits. *)
+let size = index_of max_int + 1
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable sum : int;
+}
+
+let create () = { counts = Array.make size 0; total = 0; min_v = max_int; max_v = 0; sum = 0 }
+
+let record t v =
+  let v = max 0 v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  t.sum <- t.sum + v
+
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+(* Midpoint of the bucket holding the requested rank, clamped into the
+   exact [min, max] observed — so q = 0 and q = 1 are exact, and no
+   quantile ever reads outside the recorded range. *)
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let rank = max 1 (min t.total (int_of_float (ceil (q *. float_of_int t.total)))) in
+    let seen = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to size - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen >= rank then begin
+           let low, high = range_of i in
+           result := (low + high) / 2;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    max t.min_v (min t.max_v !result)
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  if src.total > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end;
+  into.sum <- into.sum + src.sum
+
+let buckets t =
+  let acc = ref [] in
+  for i = size - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let low, high = range_of i in
+      acc := (low, high, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc

@@ -1,0 +1,45 @@
+(** HDR-style log-bucketed latency histogram.
+
+    Records non-negative integers (by convention, nanoseconds) into
+    log-scaled buckets: values below 64 are exact, and each further
+    power of two is split into 64 sub-buckets, bounding the relative
+    quantization error of {!quantile} by 1/64 (~1.6%) at every scale.
+    {!count}, {!min_value}, {!max_value} and {!mean} are exact.
+
+    Single-writer contract (like {!Dyn}): one domain records into its
+    own histogram; finished histograms are combined with {!merge} on one
+    domain.  A histogram must not be shared live across domains. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one observation.  Negative values clamp to 0. *)
+val record : t -> int -> unit
+
+(** Exact number of recorded observations. *)
+val count : t -> int
+
+(** Exact smallest recorded value (0 when empty). *)
+val min_value : t -> int
+
+(** Exact largest recorded value (0 when empty). *)
+val max_value : t -> int
+
+(** Exact arithmetic mean (0.0 when empty). *)
+val mean : t -> float
+
+(** [quantile t q] for [q] in [0, 1]: the midpoint of the bucket holding
+    the rank-[ceil (q * count)] observation, clamped into the exact
+    observed [min, max] — so [quantile t 0.0 = min_value t] and
+    [quantile t 1.0 = max_value t], and values below 64 are returned
+    exactly.  0 when empty. *)
+val quantile : t -> float -> int
+
+(** [merge ~into src] adds every bucket, the count, and the sum of [src]
+    into [into]; min/max combine exactly.  [src] is unchanged. *)
+val merge : into:t -> t -> unit
+
+(** Non-empty buckets as [(low, high, count)] triples, inclusive value
+    ranges, ascending.  The counts sum to {!count}. *)
+val buckets : t -> (int * int * int) list

@@ -127,8 +127,9 @@ let test_no_stale_result_served_after_reregistration () =
   let req = Request.make Engine.Fast_top_k (Query.q1 engine.Engine.ctx.Context.catalog) in
   let correct =
     match (Engine.run_request engine req).Request.result with
-    | Ok r -> r.Request.ranked
-    | Error e -> raise e
+    | Request.Done r -> r.Request.ranked
+    | Request.Failed e -> raise e
+    | other -> Alcotest.failf "unexpected outcome %s" (Request.outcome_result_name other)
   in
   (* plant a bogus entry for the request at the current generation *)
   let cache = Engine.cache engine in
@@ -137,16 +138,18 @@ let test_no_stale_result_served_after_reregistration () =
   Alcotest.(check string) "bogus entry is served while fresh" "hit"
     (Request.cache_status_name bogus.Request.cache);
   (match bogus.Request.result with
-  | Ok r -> Alcotest.check ranked "(the planted payload)" [ (424242, None) ] r.Request.ranked
-  | Error e -> raise e);
+  | Request.Done r -> Alcotest.check ranked "(the planted payload)" [ (424242, None) ] r.Request.ranked
+  | Request.Failed e -> raise e
+  | other -> Alcotest.failf "unexpected outcome %s" (Request.outcome_result_name other));
   (* mid-batch online registration: a topology this registry has not seen *)
   ignore (Topology.register registry (path2 900001 900002 900003) ~decomposition:[ "suite_cache" ]);
   let after = Engine.run_request engine ~cache req in
   Alcotest.(check string) "stale entry not served: recomputed" "miss"
     (Request.cache_status_name after.Request.cache);
   (match after.Request.result with
-  | Ok r -> Alcotest.check ranked "recomputed answer correct" correct r.Request.ranked
-  | Error e -> raise e);
+  | Request.Done r -> Alcotest.check ranked "recomputed answer correct" correct r.Request.ranked
+  | Request.Failed e -> raise e
+  | other -> Alcotest.failf "unexpected outcome %s" (Request.outcome_result_name other));
   Alcotest.(check bool) "invalidation recorded" true
     ((Cache.result_stats cache).Cache.invalidations >= 1);
   (* and the recomputed entry is cached again under the new generation *)
@@ -166,7 +169,7 @@ let test_failures_not_memoized () =
   List.iter
     (fun label ->
       let o = once () in
-      Alcotest.(check bool) (label ^ " run fails") true (Result.is_error o.Request.result);
+      Alcotest.(check bool) (label ^ " run fails") true (Request.failure o.Request.result <> None);
       Alcotest.(check string) (label ^ " run is a miss") "miss"
         (Request.cache_status_name o.Request.cache))
     [ "first"; "second" ];
@@ -205,12 +208,12 @@ let test_checked_runs_use_plan_tier () =
   let req = Request.make Engine.Full_top_k (Query.q1 engine.Engine.ctx.Context.catalog) in
   let before = Cache.plan_stats cache in
   let first = Engine.run_request engine ~cache ~verify_plans:true req in
-  Alcotest.(check bool) "first checked run succeeds" true (Result.is_ok first.Request.result);
+  Alcotest.(check bool) "first checked run succeeds" true (Request.answered first.Request.result <> None);
   let mid = Cache.plan_stats cache in
   Alcotest.(check bool) "checked run consults the plan tier" true
     (mid.Cache.hits + mid.Cache.misses > before.Cache.hits + before.Cache.misses);
   let second = Engine.run_request engine ~cache ~verify_plans:true req in
-  Alcotest.(check bool) "second checked run succeeds" true (Result.is_ok second.Request.result);
+  Alcotest.(check bool) "second checked run succeeds" true (Request.answered second.Request.result <> None);
   Alcotest.(check bool) "second checked run hits the memoized plan" true
     ((Cache.plan_stats cache).Cache.hits > mid.Cache.hits)
 
@@ -222,7 +225,8 @@ let test_verify_plans_bypasses_cache () =
   let verified = Engine.run_request engine ~cache ~verify_plans:true req in
   Alcotest.(check string) "verification never answers from the cache" "uncached"
     (Request.cache_status_name verified.Request.cache);
-  Alcotest.(check bool) "verified run still succeeds" true (Result.is_ok verified.Request.result)
+  Alcotest.(check bool) "verified run still succeeds" true
+    (Request.answered verified.Request.result <> None)
 
 (* --- transparency: cold = warm = uncached --------------------------------- *)
 

@@ -100,6 +100,22 @@ let test_hot_path () =
   check_silent "Printf.sprintf is pure and allowed when hot"
     (analyze ~hot:true "let f n = Printf.sprintf \"%d\" n")
 
+let test_queue_depth_check () =
+  check_fires "unguarded Queue.add in a hot module" "hot-path"
+    (analyze ~hot:true "let f q x = Queue.add x q");
+  check_fires "unguarded Queue.push in a hot module" "hot-path"
+    (analyze ~hot:true "let f q x = Queue.push x q");
+  check_silent "Queue.add under a Queue.length depth check"
+    (analyze ~hot:true "let f q x = if Queue.length q < 64 then Queue.add x q");
+  check_silent "depth check in the else branch too"
+    (analyze ~hot:true
+       "let f q x = if Queue.length q >= 64 then false else begin Queue.add x q; true end");
+  check_silent "unguarded Queue.add in a cold module"
+    (analyze ~file:"bench/fixture.ml" ~hot:false "let f q x = Queue.add x q");
+  (* a guard on something other than the queue's depth does not count *)
+  check_fires "non-depth guard is not admission control" "hot-path"
+    (analyze ~hot:true "let f q x ok = if ok then Queue.add x q")
+
 (* --- hygiene -------------------------------------------------------------- *)
 
 let test_hygiene () =
@@ -185,6 +201,7 @@ let suites =
         Alcotest.test_case "locks release on every path" `Quick test_lock_release;
         Alcotest.test_case "no blocking calls under a held lock" `Quick test_blocking_under_lock;
         Alcotest.test_case "hot-path denylist" `Quick test_hot_path;
+        Alcotest.test_case "queue growth needs a depth check" `Quick test_queue_depth_check;
         Alcotest.test_case "hygiene: Obj.magic and assert false" `Quick test_hygiene;
         Alcotest.test_case "hot-module reachability" `Quick test_hot_reachability;
       ] );

@@ -66,12 +66,14 @@ let test_paper_serve_matches_sequential () =
   List.iteri
     (fun i (o : Serve.outcome) ->
       match o.Serve.result with
-      | Ok r ->
+      | Request.Done r ->
           Alcotest.check ranked
             (Printf.sprintf "query %d (%s) ranked list" i
                (Engine.method_name o.Serve.request.Serve.method_))
             (List.nth expected i) r.Engine.ranked
-      | Error e -> Alcotest.failf "query %d raised %s" i (Printexc.to_string e))
+      | Request.Failed e -> Alcotest.failf "query %d raised %s" i (Printexc.to_string e)
+      | other ->
+          Alcotest.failf "query %d unexpectedly %s" i (Request.outcome_result_name other))
     outcomes;
   (* and the full fingerprint — scores, strategies, counters — matches a
      one-domain serve of the same batch *)
@@ -161,9 +163,10 @@ let test_error_isolated () =
   Alcotest.(check int) "exactly one error" 1 stats.Serve.errors;
   Alcotest.(check int) "whole batch completed" (List.length requests) stats.Serve.queries;
   (match (List.nth outcomes 1).Serve.result with
-  | Error Not_found -> ()
-  | Error e -> Alcotest.failf "poison query raised %s, expected Not_found" (Printexc.to_string e)
-  | Ok _ -> Alcotest.fail "poison query unexpectedly succeeded");
+  | Request.Failed Not_found -> ()
+  | Request.Failed e ->
+      Alcotest.failf "poison query raised %s, expected Not_found" (Printexc.to_string e)
+  | other -> Alcotest.failf "poison query unexpectedly %s" (Request.outcome_result_name other));
   (* the survivors answer exactly as they would without the poison query *)
   let clean, _ = serve_forced ~jobs:1 engine good in
   let survivors = List.filteri (fun i _ -> i <> 1) outcomes in

@@ -13,7 +13,12 @@
      .next field) may appear while the lock is syntactically held.
    - hot-path (modules reachable from Engine.run_request / Serve.run):
      no Random.*, Sys.time, stdout printing, or ambient-counter scope
-     clobbering (Counters.reset / Counters.with_reset).
+     clobbering (Counters.reset / Counters.with_reset); and no unbounded
+     queue growth — a Queue.add/Queue.push must sit under an enclosing
+     [if] whose condition consults Queue.length (the admission-control
+     idiom), or carry a reasoned lint.allow entry.  An unguarded add in
+     a serving module grows the queue and every queued request's latency
+     without bound exactly when the system is overloaded.
    - hygiene (everywhere scanned): no Obj.magic, no assert false.
 
    The checks look at provenance, not values: a mutation target whose
@@ -194,6 +199,8 @@ type ctx = {
   hot : bool;
   mutable item : string;  (* enclosing top-level binding, for symbols *)
   mutable locals : string list;  (* creation-bound idents of the item *)
+  mutable guarded_queues : Location.t list;
+      (* Queue.add/push sites inside a Queue.length-checked [if] branch *)
   mutable out : Lint.finding list;
 }
 
@@ -281,6 +288,31 @@ let hot_denied p =
       Some "ambient Counters scope mutation outside with_scope in a hot-path module"
   | _ -> None
 
+(* Queue growth (hot-path rule): Queue.add/Queue.push must be depth-
+   checked.  The walk is pre-order, so an [if Queue.length ... then/else]
+   is visited before the adds inside it: its branches' add sites land in
+   [ctx.guarded_queues] first, and the later visit of each add itself
+   stays silent. *)
+
+let is_queue_grow p = path_is "Queue.add" p || path_is "Queue.push" p
+
+let queue_grow_sites (e : expression) =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self x ->
+          (match apply_parts x with
+          | Some (p, _) when is_queue_grow p -> acc := x.pexp_loc :: !acc
+          | _ -> ());
+          default_iterator.expr self x);
+    }
+  in
+  it.expr it e;
+  !acc
+
 (* ------------------------------------------------------------------ *)
 (* Per-expression hook                                                 *)
 
@@ -331,14 +363,29 @@ let on_expr ctx (e : expression) =
    | _ -> ());
   (* mutable-state mutation sites *)
   if ctx.state_scope && not ctx.protected then check_mutation ctx e;
-  (* hot-path denylist *)
-  if ctx.hot then
+  (* hot-path denylist + queue-growth admission check *)
+  if ctx.hot then begin
+    (match e.pexp_desc with
+    | Pexp_ifthenelse (cond, then_, else_)
+      when expr_contains (is_call "Queue.length") cond ->
+        ctx.guarded_queues <-
+          queue_grow_sites then_
+          @ (match else_ with Some el -> queue_grow_sites el | None -> [])
+          @ ctx.guarded_queues
+    | _ -> ());
     match apply_parts e with
+    | Some (p, _) when is_queue_grow p ->
+        if not (List.mem e.pexp_loc ctx.guarded_queues) then
+          emit ctx Lint.Hot_path e.pexp_loc ("queue:" ^ ctx.item)
+            "Queue growth with no depth check in a hot-path module: guard the add with an \
+             enclosing [if] on Queue.length (admission control) so overload sheds load instead \
+             of growing latency without bound"
     | Some (p, _) -> (
         match hot_denied p with
         | Some msg -> emit ctx Lint.Hot_path e.pexp_loc ("call:" ^ p) msg
         | None -> ())
     | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Structure walk                                                      *)
@@ -451,6 +498,8 @@ let structure_mentions names (str : structure) =
 let analyze ~file ~hot (str : structure) =
   let state_scope = in_state_scope file in
   let protected = structure_mentions [ "Mutex"; "DLS" ] str in
-  let ctx = { file; state_scope; protected; hot; item = "_"; locals = []; out = [] } in
+  let ctx =
+    { file; state_scope; protected; hot; item = "_"; locals = []; guarded_queues = []; out = [] }
+  in
   analyze_items ctx str;
   List.rev ctx.out
