@@ -46,8 +46,19 @@
    `enforced`, `skipped: clamped` or `skipped: unmeasurable` — so a CI
    log always shows which thresholds actually protected the run.
 
+   - the shard experiment reports `identical = true` (the routed batch
+     over the sliced fleet fingerprints bit-identically to the
+     single-process run at every shard count — the distributed tier's
+     hard correctness gate), and routed throughput at the largest shard
+     count holds at least SHARD_MIN_RATIO (default 0.3) of the
+     in-process baseline: a deliberately loose floor — at smoke scale
+     the wire round-trip dominates tiny queries — that only catches a
+     grossly broken scatter-gather path.  Unmeasurable qps (either side
+     under clock resolution) skips the ratio, never the identity gate.
+
    Usage: dune exec bench/check_regress.exe
-            [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json [LATENCY.json]]]] *)
+            [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json [LATENCY.json
+            [SHARD.json]]]]] *)
 
 module Json = Topo_obs.Json
 
@@ -121,19 +132,21 @@ let env_floor name default =
   | None -> default
 
 let () =
-  let parallel_path, serve_path, snapshot_path, kernels_path, latency_path =
+  let parallel_path, serve_path, snapshot_path, kernels_path, latency_path, shard_path =
     match Sys.argv with
     | [| _ |] ->
         ( "BENCH_PARALLEL.json", "BENCH_SERVE.json", "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json",
-          "BENCH_LATENCY.json" )
-    | [| _; p; s |] -> (p, s, "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json", "BENCH_LATENCY.json")
-    | [| _; p; s; n |] -> (p, s, n, "BENCH_KERNELS.json", "BENCH_LATENCY.json")
-    | [| _; p; s; n; k |] -> (p, s, n, k, "BENCH_LATENCY.json")
-    | [| _; p; s; n; k; l |] -> (p, s, n, k, l)
+          "BENCH_LATENCY.json", "BENCH_SHARD.json" )
+    | [| _; p; s |] ->
+        (p, s, "BENCH_SNAPSHOT.json", "BENCH_KERNELS.json", "BENCH_LATENCY.json", "BENCH_SHARD.json")
+    | [| _; p; s; n |] -> (p, s, n, "BENCH_KERNELS.json", "BENCH_LATENCY.json", "BENCH_SHARD.json")
+    | [| _; p; s; n; k |] -> (p, s, n, k, "BENCH_LATENCY.json", "BENCH_SHARD.json")
+    | [| _; p; s; n; k; l |] -> (p, s, n, k, l, "BENCH_SHARD.json")
+    | [| _; p; s; n; k; l; sh |] -> (p, s, n, k, l, sh)
     | _ ->
         prerr_endline
           "usage: check_regress [PARALLEL.json SERVE.json [SNAPSHOT.json [KERNELS.json \
-           [LATENCY.json]]]]";
+           [LATENCY.json [SHARD.json]]]]]";
         exit 2
   in
   let parallel = read_json parallel_path in
@@ -268,4 +281,44 @@ let () =
       gate "latency.p99_ceiling" "skipped: unmeasurable"
   | Some _ -> fail "%s: \"p99_ms\" is not a number or null" latency_path
   | None -> fail "%s: lowest point is missing \"p99_ms\"" latency_path);
+  (* Shard gate: routed output must be bit-identical to the
+     single-process batch (hard), and scatter-gather may not be grossly
+     slower than staying in process (loose SHARD_MIN_RATIO floor — at
+     smoke scale the wire round-trip dominates tiny queries). *)
+  let shard = read_json shard_path in
+  if not (as_bool shard_path "identical" (get shard_path shard "identical")) then
+    fail "%s: routed batch differs from the single-process run (identical=false)" shard_path;
+  Printf.printf "ok: %s routed batches bit-identical to the single-process run\n" shard_path;
+  gate "shard.identical" "enforced";
+  let shard_sweep =
+    match get shard_path shard "sweep" with
+    | Json.Arr (_ :: _ as l) -> l
+    | Json.Arr [] -> fail "%s: empty shard sweep" shard_path
+    | _ -> fail "%s: sweep is not an array" shard_path
+  in
+  let largest = List.nth shard_sweep (List.length shard_sweep - 1) in
+  let num_opt v key =
+    match Json.member key v with
+    | Some (Json.Num q) -> Some q
+    | Some Json.Null | None -> None
+    | Some _ -> fail "%s: %S is not a number or null" shard_path key
+  in
+  (match (num_opt largest "qps", num_opt (get shard_path shard "baseline") "qps") with
+  | Some routed, Some base when base > 0.0 ->
+      let floor = env_floor "SHARD_MIN_RATIO" 0.3 in
+      let shards =
+        match Json.member "shards" largest with
+        | Some (Json.Num n) -> int_of_float n
+        | _ -> fail "%s: sweep entry is missing \"shards\"" shard_path
+      in
+      Printf.printf "shard throughput: %d shards %.1f qps vs in-process %.1f qps (ratio %.2f, floor %.2f)\n"
+        shards routed base (routed /. base) floor;
+      if routed < floor *. base then
+        fail "sharded serving too slow: %d shards (%.1f qps) < %.2f x in-process (%.1f qps)"
+          shards routed floor base;
+      print_endline "ok: routed throughput at or above the in-process floor";
+      gate "shard.throughput_floor" "enforced"
+  | _ ->
+      print_endline "skip: shard or baseline throughput below clock resolution, ratio not applicable";
+      gate "shard.throughput_floor" "skipped: unmeasurable");
   print_gate_summary ()

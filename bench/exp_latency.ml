@@ -65,7 +65,7 @@ let base_workload engine =
 (* Closed-loop calibration: the batch throughput at full parallelism
    anchors the open-loop rate sweep to this machine's capacity. *)
 let calibrate engine base =
-  let _, stats = Serve.run engine base in
+  let stats = (Serve.exec Serve.default engine base).Serve.stats in
   match stats.Serve.throughput_qps with
   | Some qps when qps > 0.0 -> qps
   | _ -> 2000.0 (* under clock resolution: any plausible anchor works *)
@@ -78,10 +78,15 @@ let arrivals ~rng ~rate base =
   Prng.shuffle rng pool (* decouple Zipf rank from method order *);
   let zipf = Zipf.create ~n:(Array.length pool) ~s:zipf_s in
   let at = ref 0.0 in
-  List.init requests_per_point (fun _ ->
-      let u = Prng.float rng in
-      at := !at +. (-.log (1.0 -. u) /. rate);
-      { Serve.at = !at; arrival_request = pool.(Zipf.sample zipf rng - 1) })
+  let instants = Array.make requests_per_point 0.0 in
+  let requests = ref [] in
+  for i = 0 to requests_per_point - 1 do
+    let u = Prng.float rng in
+    at := !at +. (-.log (1.0 -. u) /. rate);
+    instants.(i) <- !at;
+    requests := pool.(Zipf.sample zipf rng - 1) :: !requests
+  done;
+  (instants, List.rev !requests)
 
 let ms_opt h q =
   if Hdr.count h = 0 then None else Some (float_of_int (Hdr.quantile h q) /. 1e6)
@@ -110,8 +115,19 @@ let run () =
     List.mapi
       (fun i (fraction, rate) ->
         let rng = Prng.create (config.seed + (1000 * (i + 1))) in
-        let sched = arrivals ~rng ~rate base in
-        let timed, stats = Serve.run_open ~max_queue ~deadline_s engine sched in
+        let instants, reqs = arrivals ~rng ~rate base in
+        let r =
+          Serve.exec
+            (Serve.config
+               ~mode:
+                 (Serve.Open
+                    (Serve.open_config ~max_queue ~deadline_s
+                       ~schedule:(fun i -> instants.(i))
+                       ()))
+               ())
+            engine reqs
+        in
+        let timed = Option.get r.Serve.timed and stats = Option.get r.Serve.open_stats in
         let h = Hdr.create () in
         List.iter
           (fun (t : Serve.timed) ->

@@ -78,8 +78,8 @@ let run () =
       (fun jobs ->
         let samples =
           List.init runs (fun _ ->
-              let outcomes, stats = Serve.run ~jobs engine requests in
-              (Digest.to_hex (Digest.string (Serve.fingerprint outcomes)), stats))
+              let r = Serve.exec (Serve.config ~jobs ()) engine requests in
+              (Digest.to_hex (Digest.string (Serve.fingerprint r.Serve.outcomes)), r.Serve.stats))
         in
         let fp = fst (List.hd samples) in
         List.iter
@@ -128,9 +128,9 @@ let run () =
         let cache = Engine.cache engine in
         let serve () =
           let t0 = Unix.gettimeofday () in
-          let outcomes, stats = Serve.run ~jobs ~cache engine requests in
+          let r = Serve.exec (Serve.config ~jobs ~cache ()) engine requests in
           let t = Unix.gettimeofday () -. t0 in
-          (Digest.to_hex (Digest.string (Serve.fingerprint outcomes)), stats, t)
+          (Digest.to_hex (Digest.string (Serve.fingerprint r.Serve.outcomes)), r.Serve.stats, t)
         in
         let fp_cold, stats_cold, cold_s = serve () in
         let fp_warm, stats_warm, warm_s = serve () in

@@ -38,7 +38,7 @@ let rebuild () =
 
 let serve_fp engine =
   let requests = Exp_serve.mixed_workload engine in
-  let outcomes, _ = Serve.run ~jobs:1 engine requests in
+  let outcomes = (Serve.exec (Serve.config ~jobs:1 ()) engine requests).Serve.outcomes in
   Digest.to_hex (Digest.string (Serve.fingerprint outcomes))
 
 let run () =

@@ -36,6 +36,7 @@ let experiments =
     ("snapshot", Exp_snapshot.run);
     ("kernels", Exp_kernels.run);
     ("latency", Exp_latency.run);
+    ("shard", Exp_shard.run);
   ]
 
 let parse_args () =

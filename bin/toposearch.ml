@@ -112,7 +112,7 @@ let pair_conv =
   let print fmt (a, b) = Format.fprintf fmt "%s:%s" a b in
   Arg.conv (parse, print)
 
-let build_run scale seed l threshold jobs pairs output =
+let build_run scale seed l threshold jobs pairs output shards =
   let pairs = if pairs = [] then [ ("Protein", "DNA"); ("Protein", "Interaction") ] else pairs in
   let catalog = make_instance scale seed in
   let t0 = Unix.gettimeofday () in
@@ -134,13 +134,31 @@ let build_run scale seed l threshold jobs pairs output =
   Printf.printf "\n%d distinct topologies registered\n"
     (Topo_core.Topology.count engine.Engine.ctx.Topo_core.Context.registry);
   Printf.printf "built in %.3fs\n" elapsed;
-  match output with
-  | None -> 0
-  | Some path -> (
+  match (output, shards) with
+  | None, 1 -> 0
+  | None, _ ->
+      prerr_endline "--shards needs -o DIR: sliced snapshots must be written somewhere";
+      2
+  | Some _, n when n < 1 ->
+      Printf.eprintf "--shards must be >= 1, got %d\n" n;
+      2
+  | Some path, 1 -> (
       match Snapshot.save engine ~path with
       | bytes ->
           Printf.printf "snapshot: %s (%d bytes, format v%d, fingerprint %s)\n" path bytes
             Snapshot.version (Engine.fingerprint engine);
+          0
+      | exception Snapshot.Error msg ->
+          prerr_endline msg;
+          2)
+  | Some dir, shards -> (
+      match Snapshot.save_sharded engine ~dir ~shards with
+      | manifest, bytes ->
+          Printf.printf "sharded snapshot: %s (%d shard(s), %d bytes total, format v%d)\n" dir
+            shards bytes Snapshot.version;
+          List.iter
+            (fun (t1, t2, k) -> Printf.printf "  %s-%s -> shard %d\n" t1 t2 k)
+            manifest.Snapshot.pairs;
           0
       | exception Snapshot.Error msg ->
           prerr_endline msg;
@@ -163,13 +181,25 @@ let build_cmd =
              $(b,check --snapshot) and $(b,explain --snapshot) can boot from without re-running \
              the generator or the sweep.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With $(b,-o DIR): slice the snapshot into $(docv) pair-partitioned shards \
+             ($(b,shard-K.snap) plus a $(b,manifest)), each loadable by $(b,toposearch shard) and \
+             routed over by $(b,toposearch route).")
+  in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Run the offline phase only: topology computation for each requested pair, in parallel \
           across $(b,--jobs) domains, printing per-pair sweep statistics.  With $(b,-o FILE), \
-          persist the result as a snapshot for instant cold starts.")
-    Term.(const build_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ jobs_arg $ pairs $ output)
+          persist the result as a snapshot for instant cold starts; add $(b,--shards N) to write \
+          pair-partitioned slices for the distributed serving tier.")
+    Term.(
+      const build_run $ scale_arg $ seed_arg $ l_arg $ threshold_arg $ jobs_arg $ pairs $ output
+      $ shards)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                                *)
@@ -630,10 +660,18 @@ let default_workload catalog ~t1 ~t2 =
    corrected) Hdr histogram. *)
 let serve_open engine ~jobs ~traces ~cache ~max_queue ~deadline_s ~rate requests =
   let n = List.length requests in
-  let arrivals =
-    List.mapi (fun i rq -> { Serve.at = float_of_int i /. rate; arrival_request = rq }) requests
+  let r =
+    Serve.exec
+      (Serve.config ?jobs ~traces ?cache
+         ~mode:
+           (Serve.Open
+              (Serve.open_config ~max_queue ?deadline_s
+                 ~schedule:(fun i -> float_of_int i /. rate)
+                 ()))
+         ())
+      engine requests
   in
-  let timed, stats = Serve.run_open ?jobs ~max_queue ?deadline_s ~traces ?cache engine arrivals in
+  let timed = Option.get r.Serve.timed and stats = Option.get r.Serve.open_stats in
   let hdr = Topo_util.Hdr.create () in
   List.iter
     (fun (t : Serve.timed) ->
@@ -677,11 +715,16 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
   let deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
   match rate with
   | Some r when r > 0.0 ->
-      if check then
-        print_endline
-          "note: --check applies to closed-loop serving only (open-loop outcomes depend on \
-           arrival timing); skipping";
-      serve_open engine ~jobs ~traces ~cache ~max_queue ~deadline_s ~rate:r requests
+      (* The serve itself still runs; only the verification is skipped.
+         Exit 3 (not 0) so CI can tell "verified" from "not verified". *)
+      let code = serve_open engine ~jobs ~traces ~cache ~max_queue ~deadline_s ~rate:r requests in
+      if check then begin
+        prerr_endline
+          "serve --check: skipped — --check applies to closed-loop serving only (open-loop \
+           outcomes depend on arrival timing)";
+        if code = 0 then 3 else code
+      end
+      else code
   | Some _ | None ->
   (* Closed loop.  --deadline-ms bounds the whole batch: every request is
      stamped with the same absolute wall deadline, measured from batch
@@ -696,7 +739,8 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
           (fun (rq : Serve.request) -> { rq with Serve.deadline = Some (Topo_core.Budget.Wall cutoff) })
           requests
   in
-  let outcomes, stats = Serve.run ?jobs ~traces ?cache engine requests in
+  let served = Serve.exec (Serve.config ?jobs ~traces ?cache ()) engine requests in
+  let outcomes = served.Serve.outcomes and stats = served.Serve.stats in
   List.iteri
     (fun i (o : Serve.outcome) ->
       if i < List.length base then
@@ -753,14 +797,17 @@ let serve_run scale seed l threshold t1 t2 snapshot jobs file repeat traces chec
         c.Topo_core.Cache.plans.Topo_core.Cache.hits c.Topo_core.Cache.plans.Topo_core.Cache.misses
   | None -> ());
   if check && deadline_s <> None then begin
-    print_endline
-      "note: --check needs deterministic outcomes; wall deadlines depend on timing, skipping";
-    0
+    (* Exit 3, reason on stderr: CI must be able to distinguish "verified"
+       (0) from "mismatch" (1) from "not verified at all" (3). *)
+    prerr_endline
+      "serve --check: skipped — --check needs deterministic outcomes and wall deadlines depend \
+       on timing";
+    3
   end
   else if check then begin
     (* The reference pass is sequential AND uncached, so with --cache this
        also asserts that serving from the cache changed no answer. *)
-    let seq_outcomes, _ = Serve.run ~jobs:1 engine requests in
+    let seq_outcomes = (Serve.exec (Serve.config ~jobs:1 ()) engine requests).Serve.outcomes in
     if Serve.fingerprint outcomes = Serve.fingerprint seq_outcomes then begin
       print_endline "determinism check: concurrent results bit-identical to jobs=1";
       0
@@ -864,6 +911,254 @@ let serve_cmd =
       $ deadline_ms $ max_queue $ rate)
 
 (* ------------------------------------------------------------------ *)
+(* shard / route — the distributed serving tier                         *)
+
+module Wire = Topo_core.Wire
+module Shard = Topo_core.Shard
+module Router = Topo_core.Router
+
+let addr_conv =
+  let parse s = Ok (Wire.addr_of_string s) in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Wire.addr_to_string a))
+
+(* `shard --snapshot DIR/shard-2.snap` can usually infer its own index. *)
+let shard_index_of_path path =
+  let base = Filename.basename path in
+  match Scanf.sscanf_opt base "shard-%d.snap%!" (fun k -> k) with
+  | Some k when k >= 0 -> Some k
+  | _ -> None
+
+let shard_run snapshot socket shard_idx jobs use_cache cache_size max_inflight timeout_ms =
+  let shard =
+    match shard_idx with
+    | Some k -> k
+    | None -> (
+        match shard_index_of_path snapshot with
+        | Some k -> k
+        | None ->
+            prerr_endline
+              "cannot infer the shard index from the snapshot filename; pass --shard K";
+            exit 2)
+  in
+  let engine = load_snapshot snapshot in
+  let cache = if use_cache then Some (Engine.cache ~results:cache_size engine) else None in
+  let serve = Serve.config ?jobs ?cache () in
+  match
+    Shard.start ~serve ~max_inflight
+      ?write_timeout_s:(Option.map (fun ms -> ms /. 1000.0) timeout_ms)
+      ~shard socket engine
+  with
+  | t ->
+      Shard.wait t;
+      0
+  | exception Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "cannot listen on %s: %s %s\n" (Wire.addr_to_string socket)
+        (Unix.error_message e) arg;
+      2
+
+let shard_cmd =
+  let snapshot =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"The slice to serve: a $(b,shard-K.snap) written by $(b,build -o DIR --shards N).")
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "socket" ] ~docv:"ADDR"
+          ~doc:"Listen address: a Unix-domain socket path, or $(i,HOST:PORT) for TCP.")
+  in
+  let shard_idx =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard" ] ~docv:"K"
+          ~doc:"Shard index announced in the hello frame (default: parsed from the snapshot \
+                filename).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Evaluation domains for this shard's pool.")
+  in
+  let use_cache =
+    Arg.(value & flag & info [ "cache" ] ~doc:"Attach a shared result + plan cache to the shard.")
+  in
+  let cache_size =
+    Arg.(value & opt int 1024 & info [ "cache-size" ] ~docv:"N" ~doc:"Result-cache capacity.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 256
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Bound on concurrently evaluating requests across all connections; batches past it \
+             are answered $(b,Rejected Overloaded) instead of queueing.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Socket write timeout (default 30000).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Serve one snapshot slice over the binary wire protocol (Unix-domain or TCP socket): \
+          the server half of the distributed serving tier.  Runs until killed.")
+    Term.(
+      const shard_run $ snapshot $ socket $ shard_idx $ jobs $ use_cache $ cache_size
+      $ max_inflight $ timeout_ms)
+
+let route_run manifest_dir sockets t1 t2 file repeat check_snapshot timeout_ms retries =
+  let manifest =
+    match Snapshot.load_manifest manifest_dir with
+    | m -> m
+    | exception Snapshot.Error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  if List.length sockets <> manifest.Snapshot.shards then begin
+    Printf.eprintf "manifest names %d shard(s) but %d --socket address(es) were given\n"
+      manifest.Snapshot.shards (List.length sockets);
+    exit 2
+  end;
+  (* The workload needs a catalog for endpoint/keyword binding; the full
+     snapshot (when checking) or any slice works — slices keep every base
+     table and drop only other shards' derived tables. *)
+  let reference = Option.map load_snapshot check_snapshot in
+  let catalog_engine =
+    match reference with
+    | Some e -> e
+    | None -> load_snapshot (Snapshot.shard_path ~dir:manifest_dir 0)
+  in
+  let catalog = catalog_engine.Engine.ctx.Topo_core.Context.catalog in
+  let base, skipped =
+    match file with
+    | Some path -> read_workload catalog ~t1 ~t2 path
+    | None -> (default_workload catalog ~t1 ~t2, 0)
+  in
+  if skipped > 0 then
+    Printf.printf "skipped %d malformed line%s\n" skipped (if skipped = 1 then "" else "s");
+  if base = [] then begin
+    prerr_endline "empty workload";
+    exit 2
+  end;
+  let requests = List.concat (List.init (max 1 repeat) (fun _ -> base)) in
+  let router =
+    Router.create ~manifest ~addrs:(Array.of_list sockets)
+      ?timeout_s:(Option.map (fun ms -> ms /. 1000.0) timeout_ms)
+      ?retries ()
+  in
+  let t0 = Unix.gettimeofday () in
+  match Router.exec router requests with
+  | exception Wire.Error msg ->
+      Router.close router;
+      prerr_endline msg;
+      2
+  | outcomes ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Router.close router;
+      let count p = List.length (List.filter p outcomes) in
+      let done_ = count (fun o -> match o.Serve.result with Topo_core.Request.Done _ -> true | _ -> false) in
+      let partial = count (fun o -> match o.Serve.result with Topo_core.Request.Partial _ -> true | _ -> false) in
+      let rejected = count (fun o -> match o.Serve.result with Topo_core.Request.Rejected _ -> true | _ -> false) in
+      let failed = count (fun o -> match o.Serve.result with Topo_core.Request.Failed _ -> true | _ -> false) in
+      List.iteri
+        (fun i (o : Serve.outcome) ->
+          match o.Serve.result with
+          | Topo_core.Request.Failed e ->
+              Printf.printf "%3d. %-14s ERROR %s\n" (i + 1)
+                (Engine.method_name o.Serve.request.Serve.method_)
+                (Printexc.to_string e)
+          | _ -> ())
+        outcomes;
+      Printf.printf
+        "routed %d request(s) over %d shard(s) in %.3fs: %d done, %d partial, %d rejected, %d \
+         failed\n"
+        (List.length requests) manifest.Snapshot.shards elapsed done_ partial rejected failed;
+      let check_code =
+        match reference with
+        | None -> 0
+        | Some engine ->
+            (* Sharded ≡ single-process: the distributed tier's answer for
+               the whole batch must be bit-identical to one local engine
+               at jobs=1. *)
+            let local = (Serve.exec (Serve.config ~jobs:1 ()) engine requests).Serve.outcomes in
+            if Serve.fingerprint outcomes = Serve.fingerprint local then begin
+              print_endline "distribution check: sharded results bit-identical to single-process jobs=1";
+              0
+            end
+            else begin
+              print_endline "distribution check FAILED: sharded results differ from single-process";
+              1
+            end
+      in
+      if failed > 0 && check_code = 0 then 1 else check_code
+
+let route_cmd =
+  let manifest =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"DIR"
+          ~doc:"The sharded snapshot directory written by $(b,build -o DIR --shards N).")
+  in
+  let sockets =
+    Arg.(
+      non_empty & opt_all addr_conv []
+      & info [ "socket" ] ~docv:"ADDR"
+          ~doc:"Shard address, repeated once per shard $(i,in shard order) (Unix path or \
+                $(i,HOST:PORT)).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Workload file (same format as $(b,serve --file)); default: the mixed \
+                nine-method batch.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R" ~doc:"Route the workload $(docv) times over.")
+  in
+  let check_snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Also evaluate the batch locally from this $(i,unsliced) snapshot at jobs=1 and fail \
+             unless the routed results are bit-identical — the distributed tier's correctness \
+             gate.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-shard socket timeout (default 60000); must cover a whole sub-batch's evaluation.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N" ~doc:"Connect-time retries while a shard is still binding.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Scatter-gather a workload over running $(b,toposearch shard) servers: requests are \
+          routed by the manifest's pair partition, evaluated remotely, and merged back in input \
+          order.  A dead shard degrades to $(b,Failed) outcomes for its requests only.")
+    Term.(
+      const route_run $ manifest $ sockets $ t1_arg $ t2_arg $ file $ repeat $ check_snapshot
+      $ timeout_ms $ retries)
+
+(* ------------------------------------------------------------------ *)
 (* nquery                                                               *)
 
 let nquery_run scale seed l threshold entities kws max_tuples =
@@ -950,6 +1245,8 @@ let main_cmd =
       explain_cmd;
       profile_cmd;
       serve_cmd;
+      shard_cmd;
+      route_cmd;
       nquery_cmd;
       dump_cmd;
     ]

@@ -108,7 +108,7 @@ val run_request :
     counters are replayed into that scope, so counter-observing callers
     see identical numbers with and without a cache).  Not for concurrent
     use — domains sharing the global counter scope would interleave;
-    concurrent callers go through {!Serve.run} / {!run_request}.
+    concurrent callers go through {!Serve.exec} / {!run_request}.
 
     [scheme] defaults to [Freq], [k] to 10; both are ignored by non-top-k
     methods.  [impls] pins DGJ implementations for the -ET methods.

@@ -107,3 +107,288 @@ let to_string (r : t) =
     (match r.deadline with
     | None -> ""
     | Some d -> " deadline=" ^ Budget.deadline_to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec.
+
+   The payload layouts live here, next to [key], so the canonical key,
+   the cache key and the wire form evolve at one site; [Wire] supplies
+   only the frame envelope and the primitives.  Two deliberate
+   asymmetries with the in-memory types:
+
+   - the deadline IS encoded (a shard must enforce it) even though [key]
+     excludes it — the key names the answer, the wire carries the work;
+   - the trace is NOT encoded: span trees are per-process observability,
+     so a decoded outcome always has [trace = None].  [Serve.fingerprint]
+     ignores traces, which is what makes sharded ≡ single-process
+     comparisons meaningful.
+
+   A [Failed] outcome crosses the wire as the rendered exception message
+   and decodes to [Remote_failure msg]; the registered printer returns
+   the stored message verbatim, so the fingerprint of a decoded failure
+   matches the fingerprint of the original exception. *)
+
+exception Remote_failure of string
+
+let () = Printexc.register_printer (function Remote_failure msg -> Some msg | _ -> None)
+
+module E = Topo_sql.Expr
+module V = Topo_sql.Value
+
+let method_tag m =
+  let rec idx i = function
+    | [] -> Wire.fail "encode: method %s is not in Methods.all_methods" (Methods.method_name m)
+    | m' :: tl -> if m' = m then i else idx (i + 1) tl
+  in
+  idx 0 Methods.all_methods
+
+let method_of_tag tag =
+  match List.nth_opt Methods.all_methods tag with
+  | Some m -> m
+  | None -> Wire.fail "corrupt request: unknown method tag %d" tag
+
+let scheme_tag = function Ranking.Freq -> 0 | Ranking.Rare -> 1 | Ranking.Domain -> 2
+
+let scheme_of_tag = function
+  | 0 -> Ranking.Freq
+  | 1 -> Ranking.Rare
+  | 2 -> Ranking.Domain
+  | t -> Wire.fail "corrupt request: unknown ranking scheme tag %d" t
+
+let cmp_tag = function E.Eq -> 0 | E.Ne -> 1 | E.Lt -> 2 | E.Le -> 3 | E.Gt -> 4 | E.Ge -> 5
+
+let cmp_of_tag = function
+  | 0 -> E.Eq
+  | 1 -> E.Ne
+  | 2 -> E.Lt
+  | 3 -> E.Le
+  | 4 -> E.Gt
+  | 5 -> E.Ge
+  | t -> Wire.fail "corrupt predicate: unknown comparison tag %d" t
+
+let w_value buf = function
+  | V.Null -> Wire.w_u8 buf 0
+  | V.Int i ->
+      Wire.w_u8 buf 1;
+      Wire.w_i64 buf i
+  | V.Float f ->
+      Wire.w_u8 buf 2;
+      Wire.w_f64 buf f
+  | V.Str s ->
+      Wire.w_u8 buf 3;
+      Wire.w_str buf s
+
+let r_value r =
+  match Wire.r_u8 r "value tag" with
+  | 0 -> V.Null
+  | 1 -> V.Int (Wire.r_i64 r "int value")
+  | 2 -> V.Float (Wire.r_f64 r "float value")
+  | 3 -> V.Str (Wire.r_str r "string value")
+  | t -> Wire.fail "corrupt predicate: unknown value tag %d" t
+
+let rec w_expr buf = function
+  | E.Col i ->
+      Wire.w_u8 buf 0;
+      Wire.w_u32 buf i
+  | E.Const v ->
+      Wire.w_u8 buf 1;
+      w_value buf v
+  | E.Cmp (c, a, b) ->
+      Wire.w_u8 buf 2;
+      Wire.w_u8 buf (cmp_tag c);
+      w_expr buf a;
+      w_expr buf b
+  | E.And es ->
+      Wire.w_u8 buf 3;
+      Wire.w_u32 buf (List.length es);
+      List.iter (w_expr buf) es
+  | E.Or es ->
+      Wire.w_u8 buf 4;
+      Wire.w_u32 buf (List.length es);
+      List.iter (w_expr buf) es
+  | E.Not e ->
+      Wire.w_u8 buf 5;
+      w_expr buf e
+  | E.Contains (e, kw) ->
+      Wire.w_u8 buf 6;
+      w_expr buf e;
+      Wire.w_str buf kw
+  | E.IsNull e ->
+      Wire.w_u8 buf 7;
+      w_expr buf e
+
+let rec r_expr r =
+  match Wire.r_u8 r "predicate tag" with
+  | 0 -> E.Col (Wire.r_u32 r "column position")
+  | 1 -> E.Const (r_value r)
+  | 2 ->
+      let c = cmp_of_tag (Wire.r_u8 r "comparison tag") in
+      let a = r_expr r in
+      let b = r_expr r in
+      E.Cmp (c, a, b)
+  | 3 ->
+      let n = Wire.r_count r "conjunct count" in
+      E.And (Wire.r_list r n "conjunct" (fun () -> r_expr r))
+  | 4 ->
+      let n = Wire.r_count r "disjunct count" in
+      E.Or (Wire.r_list r n "disjunct" (fun () -> r_expr r))
+  | 5 -> E.Not (r_expr r)
+  | 6 ->
+      let e = r_expr r in
+      E.Contains (e, Wire.r_str r "containment keyword")
+  | 7 -> E.IsNull (r_expr r)
+  | t -> Wire.fail "corrupt predicate: unknown expression tag %d" t
+
+let w_opt buf w = function
+  | None -> Wire.w_bool buf false
+  | Some v ->
+      Wire.w_bool buf true;
+      w buf v
+
+let r_opt r what f = if Wire.r_bool r what then Some (f r) else None
+
+let w_endpoint buf (e : Query.endpoint) =
+  Wire.w_str buf e.Query.entity;
+  Wire.w_str buf e.Query.label;
+  w_opt buf w_expr e.Query.pred
+
+let r_endpoint r =
+  let entity = Wire.r_str r "endpoint entity" in
+  let label = Wire.r_str r "endpoint label" in
+  let pred = r_opt r "endpoint predicate presence" r_expr in
+  { Query.entity; pred; label }
+
+let w_deadline buf = function
+  | None -> Wire.w_u8 buf 0
+  | Some (Budget.Wall t) ->
+      Wire.w_u8 buf 1;
+      Wire.w_f64 buf t
+  | Some (Budget.Ticks n) ->
+      Wire.w_u8 buf 2;
+      Wire.w_i64 buf n
+
+let r_deadline r =
+  match Wire.r_u8 r "deadline tag" with
+  | 0 -> None
+  | 1 -> Some (Budget.Wall (Wire.r_f64 r "wall deadline"))
+  | 2 -> Some (Budget.Ticks (Wire.r_i64 r "tick deadline"))
+  | t -> Wire.fail "corrupt request: unknown deadline tag %d" t
+
+let write_payload buf (req : t) =
+  Wire.w_u8 buf (method_tag req.method_);
+  Wire.w_u8 buf (scheme_tag req.scheme);
+  Wire.w_u32 buf req.k;
+  w_deadline buf req.deadline;
+  w_endpoint buf req.query.Query.e1;
+  w_endpoint buf req.query.Query.e2
+
+let read_payload r =
+  let method_ = method_of_tag (Wire.r_u8 r "method tag") in
+  let scheme = scheme_of_tag (Wire.r_u8 r "ranking scheme tag") in
+  let k = Wire.r_u32 r "k" in
+  let deadline = r_deadline r in
+  let e1 = r_endpoint r in
+  let e2 = r_endpoint r in
+  { method_; query = { Query.e1; e2 }; scheme; k; deadline }
+
+let w_result buf (res : result) =
+  Wire.w_u32 buf (List.length res.ranked);
+  List.iter
+    (fun (tid, score) ->
+      Wire.w_i64 buf tid;
+      w_opt buf Wire.w_f64 score)
+    res.ranked;
+  Wire.w_f64 buf res.elapsed_s;
+  Wire.w_u8 buf (method_tag res.method_);
+  Wire.w_u8 buf
+    (match res.strategy with
+    | None -> 0
+    | Some Topo_sql.Optimizer.Regular -> 1
+    | Some Topo_sql.Optimizer.Early_termination -> 2)
+
+let r_result r =
+  let n = Wire.r_count r "ranked length" in
+  let ranked =
+    Wire.r_list r n "ranked entry" (fun () ->
+        let tid = Wire.r_i64 r "ranked tid" in
+        let score = r_opt r "score presence" (fun r -> Wire.r_f64 r "score") in
+        (tid, score))
+  in
+  let elapsed_s = Wire.r_f64 r "elapsed seconds" in
+  let method_ = method_of_tag (Wire.r_u8 r "result method tag") in
+  let strategy =
+    match Wire.r_u8 r "strategy tag" with
+    | 0 -> None
+    | 1 -> Some Topo_sql.Optimizer.Regular
+    | 2 -> Some Topo_sql.Optimizer.Early_termination
+    | t -> Wire.fail "corrupt outcome: unknown strategy tag %d" t
+  in
+  { ranked; elapsed_s; method_; strategy }
+
+let write_outcome_payload buf (o : outcome) =
+  write_payload buf o.request;
+  (match o.result with
+  | Done res ->
+      Wire.w_u8 buf 0;
+      w_result buf res
+  | Partial res ->
+      Wire.w_u8 buf 1;
+      w_result buf res
+  | Rejected Overloaded -> Wire.w_u8 buf 2
+  | Rejected Expired -> Wire.w_u8 buf 3
+  | Failed e ->
+      Wire.w_u8 buf 4;
+      Wire.w_str buf (Printexc.to_string e));
+  Wire.w_i64 buf o.counters.Topo_sql.Iterator.Counters.tuples;
+  Wire.w_i64 buf o.counters.Topo_sql.Iterator.Counters.index_probes;
+  Wire.w_i64 buf o.counters.Topo_sql.Iterator.Counters.rows_scanned;
+  Wire.w_i64 buf o.served_by;
+  Wire.w_u8 buf (match o.cache with Hit -> 0 | Miss -> 1 | Uncached -> 2)
+
+let read_outcome_payload r =
+  let request = read_payload r in
+  let result =
+    match Wire.r_u8 r "outcome tag" with
+    | 0 -> Done (r_result r)
+    | 1 -> Partial (r_result r)
+    | 2 -> Rejected Overloaded
+    | 3 -> Rejected Expired
+    | 4 -> Failed (Remote_failure (Wire.r_str r "failure message"))
+    | t -> Wire.fail "corrupt outcome: unknown outcome tag %d" t
+  in
+  let tuples = Wire.r_i64 r "tuples counter" in
+  let index_probes = Wire.r_i64 r "index probes counter" in
+  let rows_scanned = Wire.r_i64 r "rows scanned counter" in
+  let counters = { Topo_sql.Iterator.Counters.tuples; index_probes; rows_scanned } in
+  let served_by = Wire.r_i64 r "serving domain id" in
+  let cache =
+    match Wire.r_u8 r "cache status tag" with
+    | 0 -> Hit
+    | 1 -> Miss
+    | 2 -> Uncached
+    | t -> Wire.fail "corrupt outcome: unknown cache status tag %d" t
+  in
+  { request; result; counters; served_by; trace = None; cache }
+
+let payload_of write v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let decode_as ~kind ~what read data =
+  let k, payload = Wire.decode_frame data in
+  if k <> kind then
+    Wire.fail "expected a %s frame, got a %s frame" (Wire.kind_name kind) (Wire.kind_name k);
+  let r = Wire.reader ~what payload in
+  let v = read r in
+  Wire.r_end r;
+  v
+
+let to_wire req = Wire.frame ~kind:Wire.kind_request (payload_of write_payload req)
+
+let of_wire data = decode_as ~kind:Wire.kind_request ~what:"request payload" read_payload data
+
+let outcome_to_wire o = Wire.frame ~kind:Wire.kind_outcome (payload_of write_outcome_payload o)
+
+let outcome_of_wire data =
+  decode_as ~kind:Wire.kind_outcome ~what:"outcome payload" read_outcome_payload data

@@ -93,3 +93,52 @@ val key : t -> string
 
 (** [to_string r] for display. *)
 val to_string : t -> string
+
+(** {1 Wire codec}
+
+    Requests and outcomes cross process boundaries (router ↔ shard
+    server) as {!Wire} frames.  The payload codecs live here, beside
+    {!key}, so the canonical key, the cache key and the wire form are
+    documented and maintained at one site.  Note the asymmetry with
+    {!key}: the deadline is {e excluded} from the key (it bounds
+    evaluation time, not the answer) but {e included} on the wire (the
+    evaluating shard must enforce it).
+
+    Outcomes round-trip bit-exactly under {!Serve.fingerprint} with two
+    documented exceptions: the trace is not wire-encoded (a decoded
+    outcome has [trace = None]; fingerprints ignore traces), and a
+    [Failed e] arm carries [Printexc.to_string e] and decodes to
+    {!Remote_failure} — whose registered printer returns the message
+    verbatim, so the rendered failure is unchanged. *)
+
+(** What a [Failed] outcome becomes after crossing the wire: the remote
+    exception's rendered message.  A registered [Printexc] printer
+    prints the carried message verbatim. *)
+exception Remote_failure of string
+
+(** [to_wire r] is a complete request frame ({!Wire.kind_request}). *)
+val to_wire : t -> string
+
+(** [of_wire data] decodes a frame produced by {!to_wire}.
+    @raise Wire.Error on any framing or codec violation. *)
+val of_wire : string -> t
+
+(** [outcome_to_wire o] is a complete outcome frame
+    ({!Wire.kind_outcome}). *)
+val outcome_to_wire : outcome -> string
+
+(** [outcome_of_wire data] decodes a frame produced by
+    {!outcome_to_wire}.  @raise Wire.Error on violation. *)
+val outcome_of_wire : string -> outcome
+
+(** Payload-level codecs, for embedding many requests/outcomes in one
+    batch frame ({!Wire.kind_batch_request} / {!Wire.kind_batch_outcome})
+    without per-message frame overhead. *)
+
+val write_payload : Buffer.t -> t -> unit
+
+val read_payload : Wire.reader -> t
+
+val write_outcome_payload : Buffer.t -> outcome -> unit
+
+val read_outcome_payload : Wire.reader -> outcome

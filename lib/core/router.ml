@@ -1,0 +1,207 @@
+(* The scatter-gather router: the client side of sharded serving.
+
+   A router owns one persistent connection per shard, dialed lazily and
+   verified against the snapshot manifest: the shard's hello frame must
+   carry the expected shard index and the per-shard engine fingerprint
+   recorded at [build --shards] time, so a misconfigured deployment
+   (sockets in the wrong order, stale slice) is refused before any
+   query is misrouted.
+
+   [exec] partitions the batch with the same pair-hash the snapshot
+   writer used ([Snapshot.shard_of_pair]), scatters one batch frame per
+   involved shard, then gathers replies and merges outcomes back into
+   input order.  Scatter-then-gather means shards evaluate their
+   sub-batches concurrently even though the router itself is a single
+   domain.
+
+   Degradation: if a shard cannot be reached — or dies mid-batch — its
+   connection is redialed and the sub-batch retried once; if that also
+   fails, that shard's requests yield [Failed (Request.Remote_failure
+   ...)] outcomes while every other request in the batch completes
+   normally.  Blocking reads are bounded by the socket timeout, so a
+   hung shard degrades like a dead one instead of wedging the router. *)
+
+type t = {
+  manifest : Snapshot.manifest;
+  addrs : Wire.addr array;
+  timeout_s : float;
+  retries : int;
+  backoff_s : float;
+  conns : Unix.file_descr option array;  (* lazily dialed, single-domain *)
+}
+
+let fail = Wire.fail
+
+let create ~manifest ~addrs ?(timeout_s = 60.0) ?(retries = 3) ?(backoff_s = 0.05) () =
+  let n = Array.length addrs in
+  if n <> manifest.Snapshot.shards then
+    fail "router: manifest names %d shard(s) but %d address(es) were given"
+      manifest.Snapshot.shards n;
+  { manifest; addrs; timeout_s; retries; backoff_s; conns = Array.make n None }
+
+let close_conn t k =
+  match t.conns.(k) with
+  | None -> ()
+  | Some fd ->
+      t.conns.(k) <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close t = Array.iteri (fun k _ -> close_conn t k) t.conns
+
+(* Dial shard [k], read and verify its hello.  Connection refused is
+   retried with exponential backoff — shards and router are typically
+   started together, and the shard may still be binding. *)
+let dial t k =
+  let addr = t.addrs.(k) in
+  (* Wire.connect folds every Unix failure into Wire.Error; any of them
+     at dial time (refused, missing socket file, reset) means "shard not
+     up yet" and is worth the bounded backoff. *)
+  let rec attempt n backoff =
+    match Wire.connect ~read_s:t.timeout_s ~write_s:t.timeout_s addr with
+    | fd -> fd
+    | exception Wire.Error _ when n < t.retries ->
+        Unix.sleepf backoff;
+        attempt (n + 1) (backoff *. 2.0)
+  in
+  let fd = attempt 0 t.backoff_s in
+  match Wire.recv fd with
+  | None ->
+      Unix.close fd;
+      fail "shard %d at %s closed the connection before its hello" k (Wire.addr_to_string addr)
+  | Some (kind, payload) ->
+      if kind <> Wire.kind_hello then begin
+        Unix.close fd;
+        fail "shard %d at %s sent a %s frame where a hello was expected" k
+          (Wire.addr_to_string addr) (Wire.kind_name kind)
+      end;
+      let r = Wire.reader ~what:"hello payload" payload in
+      let index = Wire.r_u32 r "shard index" in
+      let fp = Wire.r_str r "engine fingerprint" in
+      Wire.r_end r;
+      if index <> k then begin
+        Unix.close fd;
+        fail "shard address %d (%s) answered as shard %d — sockets passed in the wrong order?"
+          k (Wire.addr_to_string addr) index
+      end;
+      let expected = t.manifest.Snapshot.fingerprints.(k) in
+      if fp <> expected then begin
+        Unix.close fd;
+        fail "shard %d at %s serves fingerprint %s but the manifest records %s — stale slice?"
+          k (Wire.addr_to_string addr) fp expected
+      end;
+      fd
+
+let conn t k =
+  match t.conns.(k) with
+  | Some fd -> fd
+  | None ->
+      let fd = dial t k in
+      t.conns.(k) <- Some fd;
+      fd
+
+let encode_batch reqs =
+  let buf = Buffer.create 4096 in
+  Wire.w_u32 buf (List.length reqs);
+  List.iter (fun req -> Request.write_payload buf req) reqs;
+  Buffer.contents buf
+
+let decode_batch ~expect payload =
+  let r = Wire.reader ~what:"batch outcome payload" payload in
+  let n = Wire.r_count r "batch size" in
+  if n <> expect then
+    fail "batch outcome carries %d outcome(s) for a %d-request batch" n expect;
+  let outcomes = Wire.r_list r n "batch outcome" (fun () -> Request.read_outcome_payload r) in
+  Wire.r_end r;
+  outcomes
+
+let send_batch t k payload =
+  Wire.send (conn t k) ~kind:Wire.kind_batch_request payload
+
+let recv_batch t k ~expect =
+  match Wire.recv (conn t k) with
+  | None -> fail "shard %d closed the connection mid-batch" k
+  | Some (kind, payload) when kind = Wire.kind_batch_outcome -> decode_batch ~expect payload
+  | Some (kind, _) ->
+      fail "shard %d replied with a %s frame where a batch outcome was expected" k
+        (Wire.kind_name kind)
+
+let failed_outcome msg req =
+  {
+    Request.request = req;
+    result = Request.Failed (Request.Remote_failure msg);
+    counters = { Topo_sql.Iterator.Counters.tuples = 0; index_probes = 0; rows_scanned = 0 };
+    served_by = -1;
+    trace = None;
+    cache = Request.Uncached;
+  }
+
+let shard_of t (req : Request.t) =
+  Snapshot.shard_of_pair ~shards:t.manifest.Snapshot.shards
+    ~t1:req.Request.query.Query.e1.Query.entity ~t2:req.Request.query.Query.e2.Query.entity
+
+let exec t requests =
+  let shards = t.manifest.Snapshot.shards in
+  (* Partition, keeping each request's slot in the input order. *)
+  let groups = Array.make shards [] in
+  List.iteri
+    (fun i req ->
+      let k = shard_of t req in
+      groups.(k) <- (i, req) :: groups.(k))
+    requests;
+  let groups = Array.map List.rev groups in
+  let slots = Array.make (List.length requests) None in
+  let degrade k msg =
+    List.iter
+      (fun (i, req) ->
+        slots.(i) <- Some (failed_outcome (Printf.sprintf "shard %d unreachable: %s" k msg) req))
+      groups.(k)
+  in
+  (* Scatter: send every involved shard its sub-batch before reading any
+     reply, so shards evaluate concurrently.  A shard that cannot even be
+     reached degrades immediately. *)
+  let sent = Array.make shards false in
+  for k = 0 to shards - 1 do
+    if groups.(k) <> [] then
+      match send_batch t k (encode_batch (List.map snd groups.(k))) with
+      | () -> sent.(k) <- true
+      | exception (Wire.Error msg) ->
+          close_conn t k;
+          degrade k msg
+      | exception Unix.Unix_error (e, _, _) ->
+          close_conn t k;
+          degrade k (Unix.error_message e)
+  done;
+  (* Gather, retrying a failed shard once over a fresh connection — the
+     replay is safe because shard evaluation is read-only over the
+     slice.  A second failure degrades that shard's requests. *)
+  for k = 0 to shards - 1 do
+    if sent.(k) then begin
+      let expect = List.length groups.(k) in
+      let merge outcomes =
+        List.iter2 (fun (i, _) o -> slots.(i) <- Some o) groups.(k) outcomes
+      in
+      match recv_batch t k ~expect with
+      | outcomes -> merge outcomes
+      | exception (Wire.Error _ | Unix.Unix_error _) -> (
+          close_conn t k;
+          let retry () =
+            send_batch t k (encode_batch (List.map snd groups.(k)));
+            recv_batch t k ~expect
+          in
+          match retry () with
+          | outcomes -> merge outcomes
+          | exception (Wire.Error msg) ->
+              close_conn t k;
+              degrade k msg
+          | exception Unix.Unix_error (e, _, _) ->
+              close_conn t k;
+              degrade k (Unix.error_message e))
+    end
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun i slot ->
+         match slot with
+         | Some o -> o
+         | None -> fail "router: request %d received no outcome (merge bug)" i)
+       slots)

@@ -335,6 +335,87 @@ let run_open ?jobs ?(max_queue = 64) ?deadline_s ?(traces = false) ?cache engine
     } )
 
 (* ------------------------------------------------------------------ *)
+(* The unified entry point
+
+   [exec] subsumes the historical [run]/[run_open] pair: one [config]
+   record names the execution resources (pool or jobs, traces, cache)
+   and one [mode] picks closed- or open-loop.  The shard server and the
+   router consume the same record, so "how a batch executes" is spelled
+   the same way in-process, behind a socket, and in the benchmarks.
+   [run]/[run_open] survive one release as deprecated wrappers (the
+   deprecation lives on their mli signatures; this file may still call
+   them). *)
+
+type open_config = {
+  max_queue : int;
+  deadline_s : float option;
+  schedule : int -> float;
+}
+
+let open_config ?(max_queue = 64) ?deadline_s ?(schedule = fun _ -> 0.0) () =
+  { max_queue; deadline_s; schedule }
+
+type mode = Closed | Open of open_config
+
+type config = {
+  pool : Pool.t option;
+  jobs : int option;
+  traces : bool;
+  cache : Cache.t option;
+  mode : mode;
+}
+
+let config ?pool ?jobs ?(traces = false) ?cache ?(mode = Closed) () =
+  { pool; jobs; traces; cache; mode }
+
+let default = config ()
+
+type result = {
+  outcomes : outcome list;
+  stats : stats;
+  timed : timed list option;
+  open_stats : open_stats option;
+}
+
+let exec cfg engine requests =
+  match cfg.mode with
+  | Closed ->
+      let outcomes, stats =
+        run ?pool:cfg.pool ?jobs:cfg.jobs ~traces:cfg.traces ?cache:cfg.cache engine requests
+      in
+      { outcomes; stats; timed = None; open_stats = None }
+  | Open oc ->
+      let arrivals =
+        List.mapi (fun i req -> { at = oc.schedule i; arrival_request = req }) requests
+      in
+      let before = Option.map Cache.totals cfg.cache in
+      let timed, os =
+        run_open ?jobs:cfg.jobs ~max_queue:oc.max_queue ?deadline_s:oc.deadline_s
+          ~traces:cfg.traces ?cache:cfg.cache engine arrivals
+      in
+      let outcomes = List.map (fun t -> t.timed_outcome) timed in
+      let domains = List.sort_uniq compare (List.map (fun (o : outcome) -> o.served_by) outcomes) in
+      let cache_delta =
+        match (cfg.cache, before) with
+        | Some c, Some b -> Some (Cache.diff ~before:b ~after:(Cache.totals c))
+        | _ -> None
+      in
+      let stats =
+        {
+          jobs = os.open_jobs;
+          queries = os.offered;
+          errors = os.failed;
+          rejected = os.rejected_overload + os.expired;
+          partials = os.partial;
+          elapsed_s = os.wall_s;
+          throughput_qps = os.achieved_rate;
+          domains_used = List.length domains;
+          cache = cache_delta;
+        }
+      in
+      { outcomes; stats; timed = Some timed; open_stats = Some os }
+
+(* ------------------------------------------------------------------ *)
 (* Determinism fingerprint                                             *)
 
 (* The full observable output of a batch as one string: per query, the

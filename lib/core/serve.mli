@@ -65,21 +65,9 @@ type stats = {
           {!Cache.diff}); [None] when no cache was attached *)
 }
 
-(** [run ?pool ?jobs ?traces ?cache engine requests] evaluates every
-    request and returns outcomes in input order plus batch statistics.
-    With [?pool] the caller's pool is used (and kept alive — the
-    long-running server pattern); otherwise a fresh pool of [?jobs]
-    domains is created for the batch and shut down afterwards.  [?jobs]
-    is capped at the machine's recommended domain count —
-    oversubscribing a serving workload only adds cross-domain GC
-    synchronization, and results are jobs-invariant anyway; pass [?pool]
-    to force a specific domain count.  [traces] (default false) attaches
-    a private {!Topo_obs.Trace.t} to each query.  [cache], when given,
-    is shared by all serving domains: hits are lock-free snapshot reads,
-    entries are generation-stamped against the topology registry so
-    online re-registration can never serve a stale result, and
-    [stats.cache] reports this batch's hits/misses/evictions/
-    invalidations. *)
+(** [run ?pool ?jobs ?traces ?cache engine requests] is the historical
+    closed-loop entry point.
+    @deprecated Use {!exec} with the default (closed) {!config}. *)
 val run :
   ?pool:Topo_util.Pool.t ->
   ?jobs:int ->
@@ -88,6 +76,7 @@ val run :
   Engine.t ->
   request list ->
   outcome list * stats
+[@@ocaml.deprecated "Use Serve.exec: Serve.exec (Serve.config ...) engine requests."]
 
 (** {1 Open-loop serving} *)
 
@@ -123,26 +112,8 @@ type open_stats = {
 }
 
 (** [run_open ?jobs ?max_queue ?deadline_s ?traces ?cache engine arrivals]
-    replays the arrival schedule open-loop: a coordinator domain admits
-    each request at its intended instant into a bounded queue ([max_queue],
-    default 64) drained by [jobs] worker domains (default: the machine's
-    recommended count; capped there).  When the queue is at its bound the
-    request is rejected immediately with [Rejected Overloaded] — overload
-    sheds load in O(1) instead of growing the queue and every queued
-    request's latency without bound.
-
-    [deadline_s], when given, stamps each admitted request (that does not
-    already carry a deadline) with [Wall (arrival instant + deadline_s)]
-    — measured from the {e intended} arrival, so time spent waiting in
-    the queue consumes the deadline.  An admitted request whose deadline
-    passes before a worker picks it up short-circuits to
-    [Rejected Expired] inside {!Engine.run_request}, before any cache or
-    counter activity.
-
-    Results come back sorted by intended arrival instant, one {!timed}
-    per offered request; the stats satisfy
-    [admitted + rejected_overload = offered] and
-    [completed + partial + failed + expired = admitted]. *)
+    is the historical open-loop entry point.
+    @deprecated Use {!exec} with [mode = Open _]. *)
 val run_open :
   ?jobs:int ->
   ?max_queue:int ->
@@ -152,6 +123,84 @@ val run_open :
   Engine.t ->
   arrival list ->
   timed list * open_stats
+[@@ocaml.deprecated
+  "Use Serve.exec: Serve.exec (Serve.config ~mode:(Serve.Open ...) ()) engine requests."]
+
+(** {1 The unified entry point}
+
+    {!exec} subsumes [run]/[run_open]: one {!config} record names the
+    execution resources and one {!mode} picks closed- or open-loop, so
+    "how a batch executes" is spelled the same way in-process, in the
+    shard server behind a socket, and in the benchmarks. *)
+
+(** Open-loop parameters.  [schedule i] is the intended arrival instant
+    of the i-th request, in seconds from the start of the run — the
+    open-loop analogue of {!arrival.at}, kept positional so {!exec}'s
+    request list stays the single source of what runs. *)
+type open_config = {
+  max_queue : int;  (** admission-queue bound; excess is [Rejected Overloaded] *)
+  deadline_s : float option;
+      (** per-request wall deadline measured from the {e intended} arrival
+          instant; requests already carrying a deadline keep theirs *)
+  schedule : int -> float;
+}
+
+(** [open_config ?max_queue ?deadline_s ?schedule ()] with [max_queue]
+    defaulting to 64 and [schedule] to "everything arrives at t = 0". *)
+val open_config :
+  ?max_queue:int -> ?deadline_s:float -> ?schedule:(int -> float) -> unit -> open_config
+
+type mode =
+  | Closed  (** evaluate the whole batch as fast as the pool allows *)
+  | Open of open_config  (** replay an arrival schedule with admission control *)
+
+type config = {
+  pool : Topo_util.Pool.t option;
+      (** closed mode: serve on the caller's long-lived pool; ignored in
+          open mode, which paces its own worker domains *)
+  jobs : int option;
+      (** domain count when no pool is given; capped at the machine's
+          recommended count *)
+  traces : bool;  (** attach a private {!Topo_obs.Trace.t} per query *)
+  cache : Cache.t option;
+      (** shared by all serving domains: lock-free snapshot-read hits,
+          generation-stamped entries, per-batch activity in [stats.cache] *)
+  mode : mode;
+}
+
+(** [config ?pool ?jobs ?traces ?cache ?mode ()] with [traces] defaulting
+    to false and [mode] to [Closed]. *)
+val config :
+  ?pool:Topo_util.Pool.t ->
+  ?jobs:int ->
+  ?traces:bool ->
+  ?cache:Cache.t ->
+  ?mode:mode ->
+  unit ->
+  config
+
+(** [default] is [config ()]: closed-loop, default pool sizing, no
+    traces, no cache. *)
+val default : config
+
+(** What one {!exec} call produced.  [outcomes] and [stats] are always
+    populated; [timed]/[open_stats] are [Some] exactly in open mode.
+    Open-mode [stats] are synthesized from the open-loop accounting:
+    [rejected = rejected_overload + expired], [elapsed_s = wall_s],
+    [throughput_qps = achieved_rate]. *)
+type result = {
+  outcomes : outcome list;
+  stats : stats;
+  timed : timed list option;
+  open_stats : open_stats option;
+}
+
+(** [exec config engine requests] evaluates the batch under [config] and
+    returns outcomes in input order (open mode: in intended-arrival
+    order, which is input order whenever the schedule is monotone).
+    Closed mode inherits {!run}'s determinism contract — bit-identical
+    outcomes for every jobs value, cold or warm cache. *)
+val exec : config -> Engine.t -> request list -> result
 
 (** [fingerprint outcomes] renders the batch's full observable output —
     ranked lists with scores (flagged when deadline-truncated), strategy

@@ -76,7 +76,7 @@ let kind_tag = function Index.Hash -> 0 | Index.Sorted -> 1
 (* ------------------------------------------------------------------ *)
 (* Save                                                                *)
 
-let save (engine : Engine.t) ~path =
+let save ?(class_pairs = []) (engine : Engine.t) ~path =
   let ctx = engine.Engine.ctx in
   let catalog = ctx.Context.catalog in
   let interner = ctx.Context.interner in
@@ -305,11 +305,28 @@ let save (engine : Engine.t) ~path =
           List.iter (fun key -> w_u32 body (pool_id key)) r.Compute.class_keys)
         s.Store.rows)
     stores;
+  (* 'C' class pairs (flag bit 0): pairs the registry's topologies may
+     carry decomposition classes for, beyond this engine's own built
+     pairs.  A shard slice keeps the full registry, and the registry
+     dedupes canonical topologies across pairs — so a topology observed
+     on this slice's pair can hold decompositions recorded during
+     another pair's sweep.  Loading must register those pairs' schema
+     paths too, or probe methods hit unknown class keys. *)
+  (match class_pairs with
+  | [] -> ()
+  | pairs ->
+      Buffer.add_char body 'C';
+      w_u32 body (List.length pairs);
+      List.iter
+        (fun (t1, t2) ->
+          w_str body t1;
+          w_str body t2)
+        pairs);
   Buffer.add_char body 'E';
   let header = Buffer.create 64 in
   Buffer.add_string header magic;
   w_u32 header version;
-  w_u32 header 0 (* flags *);
+  w_u32 header (if class_pairs = [] then 0 else 1) (* flags *);
   w_i64 header (Buffer.length body);
   w_str header fingerprint;
   (* The engine fingerprint only digests the registry and the derived
@@ -410,7 +427,9 @@ let load path =
   if file_version <> version then
     fail "unsupported snapshot version %d in %s (this build reads version %d)" file_version path
       version;
-  let _flags = r_u32 "flags" in
+  let flags = r_u32 "flags" in
+  if flags land lnot 1 <> 0 then
+    fail "unsupported snapshot flags %#x in %s (this build understands only bit 0)" flags path;
   let payload_len = r_int "payload length" in
   let fingerprint = r_str "fingerprint" in
   let checksum = r_str "payload checksum" in
@@ -755,6 +774,17 @@ let load path =
       in
       Hashtbl.replace ctx.Context.stores (t1, t2) store
     done;
+    (* 'C' class pairs (flag bit 0): register schema paths for pairs whose
+       sweeps contributed decompositions to this slice's shared registry. *)
+    if flags land 1 <> 0 then begin
+      expect 'C' "class pairs";
+      let n = r_count "class pair count" in
+      for _ = 1 to n do
+        let t1 = r_str "class pair t1" in
+        let t2 = r_str "class pair t2" in
+        Context.register_class_paths ctx ~t1 ~t2
+      done
+    end;
     expect 'E' "end";
     if !pos <> limit then
       fail "corrupt snapshot: %d trailing byte(s) after the end marker" (limit - !pos);
@@ -774,3 +804,208 @@ let load path =
        to %s (corrupt or stale snapshot)"
       path fingerprint actual;
   engine
+
+(* ------------------------------------------------------------------ *)
+(* Sharded snapshots
+
+   A query always names an entity-set pair, so the pair is the natural
+   partition key: hash each pair's canonical orientation-normalized key
+   to a shard and give every shard a slice holding only that shard's
+   derived tables and stores.  Each slice keeps the full intern pool,
+   the full topology registry (global TIDs stay stable, so fingerprints
+   compose) and every base table (endpoint predicate evaluation and the
+   rebuilt data graph need them; at paper scale the derived AllTops
+   tables dominate the footprint anyway).  The slices are ordinary
+   snapshots — [load] works unchanged — plus a JSON [manifest] the
+   router uses to map pairs to shards and verify who it is talking to. *)
+
+let partition_derivation = "first 4 bytes of MD5(sorted \"t1:t2\") mod shards"
+
+let pair_partition_key ~t1 ~t2 = if t1 <= t2 then t1 ^ ":" ^ t2 else t2 ^ ":" ^ t1
+
+let shard_of_pair ~shards ~t1 ~t2 =
+  if shards <= 0 then fail "shard_of_pair: shard count must be positive, got %d" shards;
+  let d = Digest.string (pair_partition_key ~t1 ~t2) in
+  let h =
+    (Char.code d.[0] lsl 24)
+    lor (Char.code d.[1] lsl 16)
+    lor (Char.code d.[2] lsl 8)
+    lor Char.code d.[3]
+  in
+  h mod shards
+
+let shard_path ~dir k = Filename.concat dir (Printf.sprintf "shard-%d.snap" k)
+
+let manifest_path dir = Filename.concat dir "manifest"
+
+type manifest = {
+  shards : int;
+  derivation : string;
+  pairs : (string * string * int) list;  (* t1, t2, shard — build orientation *)
+  fingerprints : string array;  (* per-shard engine fingerprint *)
+}
+
+let manifest_shard m ~t1 ~t2 =
+  let s = shard_of_pair ~shards:m.shards ~t1 ~t2 in
+  if
+    List.exists
+      (fun (a, b, _) -> pair_partition_key ~t1:a ~t2:b = pair_partition_key ~t1 ~t2)
+      m.pairs
+  then Some s
+  else None
+
+(* A shard's engine: the shared base plus only its own pairs.  The
+   filtered catalog preserves registration order (table identity is
+   shared with the parent — slicing copies nothing but the lists), and
+   statistics already computed on the parent are carried over so the
+   slice does not recompute them at save time. *)
+let slice_engine (engine : Engine.t) ~shards ~shard =
+  let ctx = engine.Engine.ctx in
+  let keep_pair t1 t2 = shard_of_pair ~shards ~t1 ~t2 = shard in
+  let build_stats =
+    List.filter (fun (t1, t2, _) -> keep_pair t1 t2) engine.Engine.build_stats
+  in
+  let dropped = Hashtbl.create 16 in
+  List.iter
+    (fun (t1, t2, _) ->
+      if not (keep_pair t1 t2) then begin
+        let alltops, lefttops, excptops, topinfo = Store.table_names ~t1 ~t2 in
+        List.iter (fun n -> Hashtbl.replace dropped n ()) [ alltops; lefttops; excptops; topinfo ]
+      end)
+    engine.Engine.build_stats;
+  let catalog = Catalog.create () in
+  let kept_stats = ref [] in
+  List.iter
+    (fun tb ->
+      let name = Table.name tb in
+      if not (Hashtbl.mem dropped name) then begin
+        Catalog.add catalog tb;
+        kept_stats := (name, Catalog.stats ctx.Context.catalog name) :: !kept_stats
+      end)
+    (Catalog.tables ctx.Context.catalog);
+  Catalog.restore_stats catalog (List.rev !kept_stats);
+  let stores = Hashtbl.create (max 8 (List.length build_stats)) in
+  List.iter
+    (fun (t1, t2, _) ->
+      match Hashtbl.find_opt ctx.Context.stores (t1, t2) with
+      | Some s -> Hashtbl.replace stores (t1, t2) s
+      | None -> fail "save_sharded: no store for built pair %s-%s" t1 t2)
+    build_stats;
+  let ctx = { ctx with Context.catalog; stores } in
+  { engine with Engine.ctx = ctx; build_stats }
+
+let render_manifest m =
+  let module J = Topo_obs.Json in
+  J.to_string ~pretty:true
+    (J.Obj
+       [
+         ("version", J.int version);
+         ("shards", J.int m.shards);
+         ("partition", J.Str m.derivation);
+         ( "pairs",
+           J.Arr
+             (List.map
+                (fun (t1, t2, s) ->
+                  J.Obj [ ("t1", J.Str t1); ("t2", J.Str t2); ("shard", J.int s) ])
+                m.pairs) );
+         ("fingerprints", J.Arr (Array.to_list (Array.map (fun f -> J.Str f) m.fingerprints)));
+       ])
+
+let save_sharded (engine : Engine.t) ~dir ~shards =
+  if shards <= 0 then fail "save_sharded: shard count must be positive, got %d" shards;
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then fail "save_sharded: %s exists and is not a directory" dir;
+  let pairs =
+    List.map
+      (fun (t1, t2, _) -> (t1, t2, shard_of_pair ~shards ~t1 ~t2))
+      engine.Engine.build_stats
+  in
+  let fingerprints = Array.make shards "" in
+  let total = ref 0 in
+  for k = 0 to shards - 1 do
+    let slice = slice_engine engine ~shards ~shard:k in
+    fingerprints.(k) <- Engine.fingerprint slice;
+    (* Every slice carries the parent's full pair list: the shared
+       registry's decompositions can reference any built pair's classes. *)
+    let class_pairs = List.map (fun (t1, t2, _) -> (t1, t2)) engine.Engine.build_stats in
+    total := !total + save ~class_pairs slice ~path:(shard_path ~dir k)
+  done;
+  let m = { shards; derivation = partition_derivation; pairs; fingerprints } in
+  let text = render_manifest m in
+  (match open_out_bin (manifest_path dir) with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc text;
+          output_char oc '\n')
+  | exception Sys_error msg -> fail "save_sharded: cannot write manifest: %s" msg);
+  (m, !total + String.length text + 1)
+
+let load_manifest dir =
+  let path = manifest_path dir in
+  let text =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+    | exception Sys_error msg -> fail "cannot open manifest: %s" msg
+  in
+  let module J = Topo_obs.Json in
+  let v = match J.parse text with Ok v -> v | Error msg -> fail "corrupt manifest %s: %s" path msg in
+  let field name =
+    match J.member name v with
+    | Some f -> f
+    | None -> fail "corrupt manifest %s: missing field %S" path name
+  in
+  let as_int what = function
+    | J.Num f when Float.is_integer f -> int_of_float f
+    | _ -> fail "corrupt manifest %s: %s is not an integer" path what
+  in
+  let as_str what = function
+    | J.Str s -> s
+    | _ -> fail "corrupt manifest %s: %s is not a string" path what
+  in
+  let mversion = as_int "version" (field "version") in
+  if mversion <> version then
+    fail "unsupported manifest version %d in %s (this build reads version %d)" mversion path version;
+  let shards = as_int "shards" (field "shards") in
+  if shards <= 0 then fail "corrupt manifest %s: shard count %d" path shards;
+  let derivation = as_str "partition" (field "partition") in
+  if derivation <> partition_derivation then
+    fail "manifest %s uses partition %S; this build derives shards by %S" path derivation
+      partition_derivation;
+  let pairs =
+    match field "pairs" with
+    | J.Arr items ->
+        List.map
+          (fun item ->
+            let pf name =
+              match J.member name item with
+              | Some f -> f
+              | None -> fail "corrupt manifest %s: pair entry missing %S" path name
+            in
+            let t1 = as_str "pair t1" (pf "t1") in
+            let t2 = as_str "pair t2" (pf "t2") in
+            let s = as_int "pair shard" (pf "shard") in
+            if s < 0 || s >= shards then
+              fail "corrupt manifest %s: pair %s-%s maps to shard %d of %d" path t1 t2 s shards;
+            if shard_of_pair ~shards ~t1 ~t2 <> s then
+              fail "corrupt manifest %s: pair %s-%s recorded on shard %d but derives to %d" path t1
+                t2 s
+                (shard_of_pair ~shards ~t1 ~t2);
+            (t1, t2, s))
+          items
+    | _ -> fail "corrupt manifest %s: pairs is not an array" path
+  in
+  let fingerprints =
+    match field "fingerprints" with
+    | J.Arr items when List.length items = shards ->
+        Array.of_list (List.map (fun f -> as_str "fingerprint" f) items)
+    | J.Arr items ->
+        fail "corrupt manifest %s: %d fingerprint(s) for %d shard(s)" path (List.length items)
+          shards
+    | _ -> fail "corrupt manifest %s: fingerprints is not an array" path
+  in
+  { shards; derivation; pairs; fingerprints }

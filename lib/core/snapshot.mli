@@ -35,9 +35,13 @@ exception Error of string
 val version : int
 
 (** [save engine ~path] writes the snapshot and returns the byte count.
+    [class_pairs] (used by {!save_sharded}; empty by default) lists
+    extra entity-set pairs whose schema paths {!load} must register as
+    decomposition classes — a slice keeps the full topology registry,
+    which can carry decompositions recorded during other pairs' sweeps.
     @raise Error on unencodable state (e.g. a string value in a numeric
     column) or I/O failure. *)
-val save : Engine.t -> path:string -> int
+val save : ?class_pairs:(string * string) list -> Engine.t -> path:string -> int
 
 (** [load path] reconstructs the engine: restores the intern pool, the
     catalog (tables, indexes, statistics), the topology registry (every
@@ -49,3 +53,56 @@ val save : Engine.t -> path:string -> int
     @raise Error when the file is unreadable, corrupt, from another
     format version, or fails fingerprint verification. *)
 val load : string -> Engine.t
+
+(** {1 Sharded snapshots}
+
+    The pair is the partition key: every query names an entity-set pair,
+    so hashing the pair's canonical orientation-normalized key routes
+    each query to exactly one shard.  [save_sharded] writes one ordinary
+    snapshot per shard ([shard-K.snap], loadable with {!load} unchanged)
+    holding the full intern pool, the full topology registry (global
+    TIDs stay stable across shards) and all base tables, but only that
+    shard's derived tables and stores — plus a JSON [manifest] recording
+    the shard count, the partition derivation, the pair → shard map and
+    per-shard fingerprints. *)
+
+(** How pairs map to shards, recorded in the manifest so a router can
+    detect a partition-scheme mismatch. *)
+val partition_derivation : string
+
+(** [shard_of_pair ~shards ~t1 ~t2] is the owning shard in
+    [0 .. shards - 1].  Orientation-normalized: both (t1, t2) and
+    (t2, t1) derive the same shard.
+    @raise Error when [shards <= 0]. *)
+val shard_of_pair : shards:int -> t1:string -> t2:string -> int
+
+(** [shard_path ~dir k] is [dir/shard-K.snap]. *)
+val shard_path : dir:string -> int -> string
+
+(** [manifest_path dir] is [dir/manifest]. *)
+val manifest_path : string -> string
+
+type manifest = {
+  shards : int;
+  derivation : string;  (** must equal {!partition_derivation} to load *)
+  pairs : (string * string * int) list;
+      (** (t1, t2, shard) per built pair, in build orientation *)
+  fingerprints : string array;  (** {!Engine.fingerprint} of each slice *)
+}
+
+(** [manifest_shard m ~t1 ~t2] is the shard owning the pair, in either
+    orientation — [None] when the pair was never built. *)
+val manifest_shard : manifest -> t1:string -> t2:string -> int option
+
+(** [save_sharded engine ~dir ~shards] writes [shards] slices plus the
+    manifest into [dir] (created if absent) and returns the manifest and
+    the total byte count.
+    @raise Error on unencodable state or I/O failure. *)
+val save_sharded : Engine.t -> dir:string -> shards:int -> manifest * int
+
+(** [load_manifest dir] reads and validates [dir/manifest]: version and
+    partition derivation must match this build, every recorded pair must
+    re-derive to its recorded shard, and the fingerprint list must have
+    one entry per shard.
+    @raise Error otherwise. *)
+val load_manifest : string -> manifest

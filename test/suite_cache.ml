@@ -255,7 +255,9 @@ let prop_cold_warm_uncached_identical =
               [ Ranking.Freq; Ranking.Rare ])
           Engine.all_methods
       in
-      let fp ?cache () = Serve.fingerprint (fst (Serve.run ~jobs:1 ?cache engine requests)) in
+      let fp ?cache () =
+        Serve.fingerprint (Serve.exec (Serve.config ~jobs:1 ?cache ()) engine requests).Serve.outcomes
+      in
       let uncached = fp () in
       let cache = Engine.cache engine in
       let cold = fp ~cache () in
@@ -278,8 +280,12 @@ let test_concurrent_hits_across_domains () =
   in
   let cache = Engine.cache engine in
   Pool.with_pool ~jobs:4 (fun pool ->
-      let cold, cold_stats = Serve.run ~pool ~cache engine requests in
-      let warm, warm_stats = Serve.run ~pool ~cache engine requests in
+      let serve () =
+        let r = Serve.exec (Serve.config ~pool ~cache ()) engine requests in
+        (r.Serve.outcomes, r.Serve.stats)
+      in
+      let cold, cold_stats = serve () in
+      let warm, warm_stats = serve () in
       Alcotest.(check string) "warm batch bit-identical to cold" (Serve.fingerprint cold)
         (Serve.fingerprint warm);
       (* aggregate assertions only: which domain takes which miss races,

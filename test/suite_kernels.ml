@@ -330,8 +330,7 @@ let serve_fp (engine : Engine.t) =
           (Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog "DNA")))
       Engine.all_methods
   in
-  let outcomes, _ = Serve.run ~jobs:1 engine requests in
-  Serve.fingerprint outcomes
+  Serve.fingerprint (Serve.exec (Serve.config ~jobs:1 ()) engine requests).Serve.outcomes
 
 let test_paper_serve_kernel_identical () =
   let engine = Lazy.force paper_engine in

@@ -110,12 +110,19 @@ let test_expired_rejected_before_cache () =
 let test_zero_capacity_rejects_everything () =
   let engine = Lazy.force paper_engine in
   let cache = Engine.cache engine in
-  let arrivals =
-    List.init 5 (fun i ->
-        { Serve.at = float_of_int i *. 0.001;
-          arrival_request = Serve.request Engine.Fast_top_k (q1 engine) })
+  let requests = List.init 5 (fun _ -> Serve.request Engine.Fast_top_k (q1 engine)) in
+  let r =
+    Serve.exec
+      (Serve.config ~jobs:2 ~cache
+         ~mode:
+           (Serve.Open
+              (Serve.open_config ~max_queue:0
+                 ~schedule:(fun i -> float_of_int i *. 0.001)
+                 ()))
+         ())
+      engine requests
   in
-  let timed, stats = Serve.run_open ~jobs:2 ~max_queue:0 ~cache engine arrivals in
+  let timed = Option.get r.Serve.timed and stats = Option.get r.Serve.open_stats in
   Alcotest.(check int) "all offered" 5 stats.Serve.offered;
   Alcotest.(check int) "all rejected" 5 stats.Serve.rejected_overload;
   Alcotest.(check int) "none admitted" 0 stats.Serve.admitted;
@@ -171,15 +178,21 @@ let prop_open_accounting =
       let rng = Topo_util.Prng.create seed in
       let methods = [| Engine.Fast_top_k; Engine.Full_top_k; Engine.Fast_top_k_et |] in
       let n = 12 + Topo_util.Prng.int rng 12 in
-      let arrivals =
-        List.init n (fun i ->
-            {
-              Serve.at = float_of_int i *. 0.0005;
-              arrival_request =
-                Serve.request ~k:10 (Topo_util.Prng.choose rng methods) (q1 engine);
-            })
+      let requests =
+        List.init n (fun _ -> Serve.request ~k:10 (Topo_util.Prng.choose rng methods) (q1 engine))
       in
-      let timed, stats = Serve.run_open ~jobs:2 ~max_queue ~deadline_s:5.0 engine arrivals in
+      let r =
+        Serve.exec
+          (Serve.config ~jobs:2
+             ~mode:
+               (Serve.Open
+                  (Serve.open_config ~max_queue ~deadline_s:5.0
+                     ~schedule:(fun i -> float_of_int i *. 0.0005)
+                     ()))
+             ())
+          engine requests
+      in
+      let timed = Option.get r.Serve.timed and stats = Option.get r.Serve.open_stats in
       List.length timed = n
       && stats.Serve.offered = n
       && stats.Serve.admitted + stats.Serve.rejected_overload = n

@@ -5,8 +5,8 @@
    concurrent batch submitters.
 
    Concurrency-sensitive tests pass an explicit pool so they exercise
-   real multi-domain serving even on single-core machines (Serve.run's
-   [?jobs] is capped at the core count; [?pool] is not). *)
+   real multi-domain serving even on single-core machines (Serve.exec's
+   [jobs] field is capped at the core count; [pool] is not). *)
 
 open Topo_core
 module Pool = Topo_util.Pool
@@ -42,7 +42,9 @@ let paper_workload (engine : Engine.t) =
     Engine.all_methods
 
 let serve_forced ~jobs ?(traces = false) engine requests =
-  Pool.with_pool ~jobs (fun pool -> Serve.run ~pool ~traces engine requests)
+  Pool.with_pool ~jobs (fun pool ->
+      let r = Serve.exec (Serve.config ~pool ~traces ()) engine requests in
+      (r.Serve.outcomes, r.Serve.stats))
 
 let ranked = Alcotest.(list (pair int (option (float 1e-9))))
 
@@ -217,7 +219,9 @@ let test_serve_batches_queue_on_shared_pool () =
   let requests = paper_workload engine in
   let expected = Serve.fingerprint (fst (serve_forced ~jobs:1 engine requests)) in
   Pool.with_pool ~jobs:2 (fun pool ->
-      let serve () = Domain.spawn (fun () -> fst (Serve.run ~pool engine requests)) in
+      let serve () =
+        Domain.spawn (fun () -> (Serve.exec (Serve.config ~pool ()) engine requests).Serve.outcomes)
+      in
       let a = serve () and b = serve () in
       Alcotest.(check string) "first concurrent serve deterministic" expected
         (Serve.fingerprint (Domain.join a));

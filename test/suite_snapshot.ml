@@ -39,7 +39,10 @@ let serve_fp (engine : Engine.t) =
           (Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog "DNA")))
       Engine.all_methods
   in
-  let outcomes, _ = Pool.with_pool ~jobs:2 (fun pool -> Serve.run ~pool engine requests) in
+  let outcomes =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        (Serve.exec (Serve.config ~pool ()) engine requests).Serve.outcomes)
+  in
   Serve.fingerprint outcomes
 
 let with_temp_snapshot engine f =

@@ -1,0 +1,422 @@
+(* The binary wire protocol and the distributed serving tier: QCheck
+   round-trips of requests and all four outcome arms, descriptive
+   rejection of truncated/corrupt/cross-version/oversized frames, the
+   pair partition's orientation invariance, slice/manifest round trips,
+   and an in-process shard fleet behind a router — including a shard
+   killed between batches, which must degrade to [Failed] outcomes for
+   its requests only while the survivors stay bit-identical. *)
+
+open Topo_core
+module E = Topo_sql.Expr
+module V = Topo_sql.Value
+module Counters = Topo_sql.Iterator.Counters
+
+(* --- generators ----------------------------------------------------------- *)
+
+(* NaN would break the structural-equality round-trip checks, and the
+   codec makes no promise about it — deadlines and scores are finite. *)
+let gen_finite_float =
+  QCheck.Gen.map (fun f -> if Float.is_finite f then f else 0.5) QCheck.Gen.float
+
+let gen_value =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return V.Null;
+      QCheck.Gen.map (fun i -> V.Int i) QCheck.Gen.int;
+      QCheck.Gen.map (fun f -> V.Float f) gen_finite_float;
+      QCheck.Gen.map (fun s -> V.Str s) QCheck.Gen.string;
+    ]
+
+let gen_cmp = QCheck.Gen.oneofl [ E.Eq; E.Ne; E.Lt; E.Le; E.Gt; E.Ge ]
+
+let gen_expr =
+  QCheck.Gen.sized
+  @@ QCheck.Gen.fix (fun self n ->
+         let leaf =
+           QCheck.Gen.oneof
+             [
+               QCheck.Gen.map (fun i -> E.Col (abs i mod 32)) QCheck.Gen.int;
+               QCheck.Gen.map (fun v -> E.Const v) gen_value;
+             ]
+         in
+         if n <= 1 then leaf
+         else
+           let sub = self (n / 2) in
+           QCheck.Gen.oneof
+             [
+               leaf;
+               QCheck.Gen.map3 (fun c a b -> E.Cmp (c, a, b)) gen_cmp sub sub;
+               QCheck.Gen.map2 (fun a b -> E.And [ a; b ]) sub sub;
+               QCheck.Gen.map2 (fun a b -> E.Or [ a; b ]) sub sub;
+               QCheck.Gen.map (fun a -> E.Not a) sub;
+               QCheck.Gen.map2 (fun a s -> E.Contains (a, s)) sub QCheck.Gen.string;
+               QCheck.Gen.map (fun a -> E.IsNull a) sub;
+             ])
+
+let gen_endpoint =
+  QCheck.Gen.map3
+    (fun entity pred label -> { Query.entity; pred; label })
+    QCheck.Gen.string
+    (QCheck.Gen.opt gen_expr)
+    QCheck.Gen.string
+
+let gen_deadline =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return None;
+      QCheck.Gen.map (fun f -> Some (Budget.Wall (Float.abs f))) gen_finite_float;
+      QCheck.Gen.map (fun i -> Some (Budget.Ticks i)) QCheck.Gen.int;
+    ]
+
+let gen_request =
+  let open QCheck.Gen in
+  let* method_ = oneofl Engine.all_methods in
+  let* e1 = gen_endpoint in
+  let* e2 = gen_endpoint in
+  let* scheme = oneofl [ Ranking.Freq; Ranking.Rare; Ranking.Domain ] in
+  let* k = int_bound 1000 in
+  let* deadline = gen_deadline in
+  return { Request.method_; query = { Query.e1; e2 }; scheme; k; deadline }
+
+let gen_result =
+  let open QCheck.Gen in
+  let* ranked = small_list (pair int (opt gen_finite_float)) in
+  let* elapsed_s = map Float.abs gen_finite_float in
+  let* method_ = oneofl Engine.all_methods in
+  let* strategy =
+    oneofl [ None; Some Topo_sql.Optimizer.Regular; Some Topo_sql.Optimizer.Early_termination ]
+  in
+  return { Request.ranked; elapsed_s; method_; strategy }
+
+let gen_outcome =
+  let open QCheck.Gen in
+  let* request = gen_request in
+  let* result =
+    oneof
+      [
+        map (fun r -> Request.Done r) gen_result;
+        map (fun r -> Request.Partial r) gen_result;
+        oneofl [ Request.Rejected Request.Overloaded; Request.Rejected Request.Expired ];
+        map (fun msg -> Request.Failed (Failure msg)) QCheck.Gen.string;
+      ]
+  in
+  let* tuples = map abs int in
+  let* index_probes = map abs int in
+  let* rows_scanned = map abs int in
+  let* served_by = int_bound 64 in
+  let* cache = oneofl [ Request.Hit; Request.Miss; Request.Uncached ] in
+  return
+    {
+      Request.request;
+      result;
+      counters = { Counters.tuples; index_probes; rows_scanned };
+      served_by;
+      trace = None;
+      cache;
+    }
+
+(* --- request/outcome round trips ------------------------------------------ *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire: request round-trips structurally" ~count:300
+    (QCheck.make gen_request) (fun req ->
+      Request.of_wire (Request.to_wire req) = req)
+
+let prop_outcome_roundtrip_bytes =
+  QCheck.Test.make ~name:"wire: outcome encode-decode-encode is byte-stable" ~count:300
+    (QCheck.make gen_outcome) (fun o ->
+      let wire = Request.outcome_to_wire o in
+      let decoded = Request.outcome_of_wire wire in
+      Request.outcome_to_wire decoded = wire)
+
+let test_outcome_arms_roundtrip () =
+  let req =
+    Request.make ~scheme:Ranking.Rare ~k:7 ~deadline:(Budget.Ticks 123456)
+      Engine.Fast_top_k_opt
+      {
+        Query.e1 = { Query.entity = "Protein"; pred = Some (E.Contains (E.Col 2, "kinase")); label = "P" };
+        e2 = { Query.entity = "DNA"; pred = None; label = "D" };
+      }
+  in
+  let result =
+    {
+      Request.ranked = [ (3, Some 0.25); (9, None); (1, Some 17.5) ];
+      elapsed_s = 0.0421;
+      method_ = Engine.Fast_top_k_opt;
+      strategy = Some Topo_sql.Optimizer.Early_termination;
+    }
+  in
+  let mk result =
+    {
+      Request.request = req;
+      result;
+      counters = { Counters.tuples = 42; index_probes = 7; rows_scanned = 9000 };
+      served_by = 3;
+      trace = None;
+      cache = Request.Miss;
+    }
+  in
+  List.iter
+    (fun (name, arm) ->
+      let o = mk arm in
+      let back = Request.outcome_of_wire (Request.outcome_to_wire o) in
+      match (arm, back.Request.result) with
+      | Request.Failed _, Request.Failed e ->
+          Alcotest.(check string)
+            (name ^ " message survives verbatim")
+            "Not_found" (Printexc.to_string e)
+      | _ -> Alcotest.(check bool) (name ^ " round-trips") true (back = o))
+    [
+      ("done", Request.Done result);
+      ("partial", Request.Partial result);
+      ("rejected-overloaded", Request.Rejected Request.Overloaded);
+      ("rejected-expired", Request.Rejected Request.Expired);
+      ("failed", Request.Failed Not_found);
+    ]
+
+let test_remote_failure_printer () =
+  Alcotest.(check string)
+    "Remote_failure prints its message verbatim" "shard 2 unreachable: boom"
+    (Printexc.to_string (Request.Remote_failure "shard 2 unreachable: boom"))
+
+(* --- frame rejection ------------------------------------------------------ *)
+
+let expect_error name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Wire.Error, got a value" name
+  | exception Wire.Error msg ->
+      Alcotest.(check bool) (name ^ " error is descriptive") true (String.length msg > 10)
+
+let sample_frame () =
+  let ep entity = { Query.entity; pred = None; label = entity } in
+  Request.to_wire (Request.make Engine.Sql (Query.make (ep "A") (ep "B")))
+
+(* Frame layout: magic 8 | version u16 | kind u8 | length u32 | MD5 16. *)
+let patch frame off bytes =
+  let b = Bytes.of_string frame in
+  String.iteri (fun i c -> Bytes.set b (off + i) c) bytes;
+  Bytes.to_string b
+
+let test_frame_rejections () =
+  let frame = sample_frame () in
+  expect_error "truncated frame" (fun () ->
+      Wire.decode_frame (String.sub frame 0 (String.length frame - 3)));
+  expect_error "truncated header" (fun () -> Wire.decode_frame (String.sub frame 0 10));
+  expect_error "bad magic" (fun () -> Wire.decode_frame (patch frame 0 "NOTAWIRE"));
+  expect_error "cross-version header" (fun () ->
+      Wire.decode_frame (patch frame 8 "\xff\x7f"));
+  expect_error "oversized payload length" (fun () ->
+      Wire.decode_frame (patch frame 11 "\xff\xff\xff\x7f"));
+  expect_error "corrupt checksum" (fun () ->
+      let off = String.length frame - 1 in
+      Wire.decode_frame (patch frame off (String.make 1 (Char.chr (Char.code frame.[off] lxor 1)))));
+  (* Valid frame of the wrong kind must be refused by the typed decoder. *)
+  expect_error "kind mismatch" (fun () ->
+      Request.outcome_of_wire (sample_frame ()))
+
+let test_reader_bounds () =
+  let r = Wire.reader "\x05" in
+  expect_error "string past the payload end" (fun () -> Wire.r_str r "field");
+  let r2 = Wire.reader "\x01\x02" in
+  ignore (Wire.r_u8 r2 "first");
+  expect_error "trailing bytes rejected" (fun () -> Wire.r_end r2)
+
+(* --- pair partition and slices -------------------------------------------- *)
+
+let test_partition_orientation () =
+  for shards = 1 to 7 do
+    List.iter
+      (fun (t1, t2) ->
+        let k = Snapshot.shard_of_pair ~shards ~t1 ~t2 in
+        Alcotest.(check int)
+          (Printf.sprintf "orientation-normalized at %d shards" shards)
+          k
+          (Snapshot.shard_of_pair ~shards ~t1:t2 ~t2:t1);
+        Alcotest.(check bool) "in range" true (k >= 0 && k < shards))
+      [ ("Protein", "DNA"); ("Protein", "Interaction"); ("DNA", "Unigene") ]
+  done;
+  match Snapshot.shard_of_pair ~shards:0 ~t1:"A" ~t2:"B" with
+  | _ -> Alcotest.fail "shards=0 must be rejected"
+  | exception Snapshot.Error _ -> ()
+
+let generated_engine () =
+  Engine.build
+    (Biozon.Generator.generate
+       (Biozon.Generator.scale 0.08 { Biozon.Generator.default with Biozon.Generator.seed = 20070415 }))
+    ~pairs:[ ("Protein", "DNA"); ("Protein", "Interaction") ]
+    ~pruning_threshold:10 ()
+
+let temp_seq = ref 0
+
+let with_temp_dir f =
+  incr temp_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "topowire-%d-%d" (Unix.getpid ()) !temp_seq)
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let mixed_requests (engine : Engine.t) =
+  let catalog = engine.Engine.ctx.Context.catalog in
+  let schemes = [| Ranking.Freq; Ranking.Rare; Ranking.Domain |] in
+  List.concat_map
+    (fun t2 ->
+      List.mapi
+        (fun i method_ ->
+          Serve.request ~scheme:schemes.(i mod 3) ~k:10 method_
+            (Query.make (Query.endpoint catalog "Protein") (Query.endpoint catalog t2)))
+        Engine.all_methods)
+    [ "DNA"; "Interaction" ]
+
+let test_slice_manifest_roundtrip () =
+  let engine = generated_engine () in
+  with_temp_dir (fun dir ->
+      let manifest, bytes = Snapshot.save_sharded engine ~dir ~shards:2 in
+      Alcotest.(check bool) "bytes written" true (bytes > 0);
+      Alcotest.(check int) "two shards" 2 manifest.Snapshot.shards;
+      let reloaded = Snapshot.load_manifest dir in
+      Alcotest.(check bool) "manifest round-trips" true (reloaded = manifest);
+      List.iter
+        (fun (t1, t2, k) ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "manifest_shard %s-%s" t1 t2)
+            (Some k)
+            (Snapshot.manifest_shard reloaded ~t1 ~t2);
+          Alcotest.(check (option int))
+            "manifest_shard is orientation-normalized" (Some k)
+            (Snapshot.manifest_shard reloaded ~t1:t2 ~t2:t1))
+        manifest.Snapshot.pairs;
+      Alcotest.(check (option int))
+        "unknown pair is None" None
+        (Snapshot.manifest_shard reloaded ~t1:"No" ~t2:"Such");
+      (* Each slice loads and reports the manifest's fingerprint. *)
+      Array.iteri
+        (fun k fp ->
+          let slice = Snapshot.load (Snapshot.shard_path ~dir k) in
+          Alcotest.(check string)
+            (Printf.sprintf "slice %d fingerprint" k)
+            fp (Engine.fingerprint slice))
+        manifest.Snapshot.fingerprints)
+
+(* --- the shard fleet behind a router -------------------------------------- *)
+
+let test_router_end_to_end () =
+  let engine = generated_engine () in
+  let requests = mixed_requests engine in
+  let local =
+    Serve.fingerprint (Serve.exec (Serve.config ~jobs:1 ()) engine requests).Serve.outcomes
+  in
+  with_temp_dir (fun dir ->
+      let manifest, _ = Snapshot.save_sharded engine ~dir ~shards:2 in
+      let addrs =
+        Array.init manifest.Snapshot.shards (fun k ->
+            Wire.Unix_sock (Filename.concat dir (Printf.sprintf "s%d.sock" k)))
+      in
+      let shards =
+        Array.to_list
+          (Array.init manifest.Snapshot.shards (fun k ->
+               Shard.start
+                 ~serve:(Serve.config ~jobs:2 ())
+                 ~shard:k addrs.(k)
+                 (Snapshot.load (Snapshot.shard_path ~dir k))))
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Shard.stop shards)
+        (fun () ->
+          let router =
+            Router.create ~manifest ~addrs ~timeout_s:60.0 ~retries:2 ~backoff_s:0.02 ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Router.close router)
+            (fun () ->
+              let outcomes = Router.exec router requests in
+              Alcotest.(check int)
+                "outcome per request" (List.length requests) (List.length outcomes);
+              Alcotest.(check string)
+                "sharded fingerprint == single-process jobs=1" local
+                (Serve.fingerprint outcomes);
+              (* A second batch reuses the persistent connections. *)
+              Alcotest.(check string)
+                "second batch identical" local
+                (Serve.fingerprint (Router.exec router requests)))))
+
+let test_router_survives_killed_shard () =
+  let engine = generated_engine () in
+  let requests = mixed_requests engine in
+  with_temp_dir (fun dir ->
+      let manifest, _ = Snapshot.save_sharded engine ~dir ~shards:2 in
+      let dead =
+        match Snapshot.manifest_shard manifest ~t1:"Protein" ~t2:"Interaction" with
+        | Some k -> k
+        | None -> Alcotest.fail "Protein-Interaction not in the manifest"
+      in
+      let addrs =
+        Array.init manifest.Snapshot.shards (fun k ->
+            Wire.Unix_sock (Filename.concat dir (Printf.sprintf "s%d.sock" k)))
+      in
+      let shards =
+        Array.init manifest.Snapshot.shards (fun k ->
+            Shard.start
+              ~serve:(Serve.config ~jobs:1 ())
+              ~shard:k addrs.(k)
+              (Snapshot.load (Snapshot.shard_path ~dir k)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Shard.stop shards)
+        (fun () ->
+          let router =
+            Router.create ~manifest ~addrs ~timeout_s:30.0 ~retries:1 ~backoff_s:0.01 ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Router.close router)
+            (fun () ->
+              (* Healthy pass first, so the router holds live connections to
+                 both shards when one dies. *)
+              let healthy = Router.exec router requests in
+              Shard.stop shards.(dead);
+              let degraded = Router.exec router requests in
+              Alcotest.(check int)
+                "no outcome lost" (List.length requests) (List.length degraded);
+              List.iter2
+                (fun (h : Serve.outcome) (d : Serve.outcome) ->
+                  let t2 = d.Serve.request.Request.query.Query.e2.Query.entity in
+                  if Snapshot.manifest_shard manifest ~t1:"Protein" ~t2 = Some dead then
+                    match d.Serve.result with
+                    | Request.Failed (Request.Remote_failure _) -> ()
+                    | _ -> Alcotest.fail "dead shard's request must fail with Remote_failure"
+                  else
+                    Alcotest.(check string)
+                      "survivor bit-identical"
+                      (Serve.fingerprint [ h ])
+                      (Serve.fingerprint [ d ]))
+                healthy degraded)))
+
+let suites =
+  [
+    ( "wire.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        QCheck_alcotest.to_alcotest prop_outcome_roundtrip_bytes;
+        Alcotest.test_case "all outcome arms round-trip" `Quick test_outcome_arms_roundtrip;
+        Alcotest.test_case "Remote_failure printer" `Quick test_remote_failure_printer;
+      ] );
+    ( "wire.frames",
+      [
+        Alcotest.test_case "malformed frames are rejected" `Quick test_frame_rejections;
+        Alcotest.test_case "reader bounds checks" `Quick test_reader_bounds;
+      ] );
+    ( "wire.shards",
+      [
+        Alcotest.test_case "partition is orientation-normalized" `Quick test_partition_orientation;
+        Alcotest.test_case "slices and manifest round-trip" `Quick test_slice_manifest_roundtrip;
+        Alcotest.test_case "router == single process" `Quick test_router_end_to_end;
+        Alcotest.test_case "router survives a killed shard" `Quick test_router_survives_killed_shard;
+      ] );
+  ]

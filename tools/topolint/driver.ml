@@ -14,7 +14,7 @@ type report = {
 
 let ok r = r.unallowed = 0 && r.allow_errors = []
 
-let default_hot_roots = [ "lib/core/engine.ml"; "lib/core/serve.ml" ]
+let default_hot_roots = [ "lib/core/engine.ml"; "lib/core/serve.ml"; "lib/core/shard.ml" ]
 
 (* ------------------------------------------------------------------ *)
 (* File discovery                                                      *)
